@@ -1,0 +1,68 @@
+// Ablation D1 — the aggregation threshold (paper Sec. IV-A: 100 KB default;
+// "this test indicating 512KB - 1MB are more appropriate for our system").
+// Sweeps the threshold and reports AM-path bandwidth at a mid-size message
+// plus live histogram rate, both in virtual time.
+#include <cstdio>
+
+#include "bale/histogram.hpp"
+#include "lamellar.hpp"
+
+using namespace lamellar;
+using namespace lamellar::bale;
+
+namespace {
+
+struct PayloadAm {
+  std::vector<std::uint8_t> data;
+  template <class Ar>
+  void serialize(Ar& ar) {
+    ar(data);
+  }
+  void exec(AmContext&) {}
+};
+
+}  // namespace
+
+LAMELLAR_REGISTER_AM(PayloadAm);
+
+int main() {
+  std::printf("# Ablation D1: aggregation threshold sweep (virtual time)\n");
+  std::printf("%12s %16s %16s\n", "threshold", "AM 4KB MB/s", "histo MUPS");
+  for (std::size_t threshold : {16ULL * 1024, 64ULL * 1024, 100ULL * 1024,
+                                256ULL * 1024, 512ULL * 1024,
+                                1024ULL * 1024}) {
+    RuntimeConfig cfg;
+    cfg.agg_threshold_bytes = threshold;
+    double mbs = 0;
+    double mups = 0;
+    run_world(
+        2,
+        [&](World& world) {
+          const std::size_t kSize = 4096, kN = 512;
+          std::vector<std::uint8_t> payload(kSize, 1);
+          world.barrier();
+          const sim_nanos t0 = world.time_ns();
+          if (world.my_pe() == 0) {
+            for (std::size_t i = 0; i < kN; ++i) {
+              world.exec_am_pe(1, PayloadAm{payload});
+            }
+            world.wait_all();
+          }
+          world.barrier();
+          const sim_nanos t1 = world.time_ns();
+          HistogramParams p;
+          p.updates_per_pe = 10'000;
+          auto r = histogram_kernel(world, Backend::kLamellarAm, p);
+          if (world.my_pe() == 0) {
+            mbs = static_cast<double>(kSize) * kN /
+                  static_cast<double>(t1 - t0) * 1000.0;
+            mups = static_cast<double>(r.ops) * 2 /
+                   static_cast<double>(r.elapsed_ns) * 1000.0;
+          }
+          world.barrier();
+        },
+        cfg, paper_perf_params(), PeMapping{1});
+    std::printf("%12zu %16.1f %16.1f\n", threshold, mbs, mups);
+  }
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Ablation D2 — the batch-op sub-batch limit (paper experiments use 10,000
+// operations per buffer).  Sweeps the limit for the AtomicArray histogram.
+#include <cstdio>
+
+#include "bale/histogram.hpp"
+#include "lamellar.hpp"
+
+using namespace lamellar;
+using namespace lamellar::bale;
+
+int main() {
+  std::printf("# Ablation D2: batch-op sub-batch limit (virtual time)\n");
+  std::printf("%12s %20s\n", "limit", "AtomicArray MUPS");
+  for (std::size_t limit : {100, 1'000, 5'000, 10'000, 50'000}) {
+    RuntimeConfig cfg;
+    cfg.batch_op_limit = limit;
+    double mups = 0;
+    run_world(
+        4,
+        [&](World& world) {
+          HistogramParams p;
+          p.updates_per_pe = 10'000;
+          p.agg_limit = limit;
+          auto r = histogram_kernel(world, Backend::kLamellarArray, p);
+          if (world.my_pe() == 0) {
+            mups = static_cast<double>(r.ops) * world.num_pes() /
+                   static_cast<double>(r.elapsed_ns) * 1000.0;
+          }
+          world.barrier();
+        },
+        cfg);
+    std::printf("%12zu %20.1f\n", limit, mups);
+  }
+  return 0;
+}

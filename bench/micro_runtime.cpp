@@ -1,0 +1,82 @@
+// Micro-benchmarks of the runtime building blocks (google-benchmark).
+// Not a paper figure; used to keep internal regressions visible and to
+// support the D4/D5 design discussions in DESIGN.md.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "common/serialize.hpp"
+#include "common/unique_function.hpp"
+#include "core/scheduler/deque.hpp"
+#include "lamellae/heap.hpp"
+
+namespace {
+
+using namespace lamellar;
+
+void BM_SerializeVecU64(benchmark::State& state) {
+  std::vector<std::uint64_t> v(state.range(0));
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] = i;
+  for (auto _ : state) {
+    auto buf = serialize_to_buffer(v);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0) * 8);
+}
+BENCHMARK(BM_SerializeVecU64)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_DeserializeVecU64(benchmark::State& state) {
+  std::vector<std::uint64_t> v(state.range(0), 7);
+  auto buf = serialize_to_buffer(v);
+  for (auto _ : state) {
+    buf.seek(0);
+    auto out = deserialize_from_buffer<std::vector<std::uint64_t>>(buf);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0) * 8);
+}
+BENCHMARK(BM_DeserializeVecU64)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_DequePushPop(benchmark::State& state) {
+  WorkStealingDeque<int> dq;
+  int item = 1;
+  for (auto _ : state) {
+    dq.push(&item);  // note: pop below returns it before deletion matters
+    benchmark::DoNotOptimize(dq.pop());
+  }
+}
+BENCHMARK(BM_DequePushPop);
+
+void BM_HeapAllocFree(benchmark::State& state) {
+  OffsetHeap heap(0, 64 * 1024 * 1024);
+  for (auto _ : state) {
+    auto a = heap.alloc(256);
+    auto b = heap.alloc(1024);
+    heap.free(a);
+    heap.free(b);
+  }
+}
+BENCHMARK(BM_HeapAllocFree);
+
+void BM_UniqueFunctionInvoke(benchmark::State& state) {
+  std::uint64_t acc = 0;
+  UniqueFunction<void()> f([&acc] { ++acc; });
+  for (auto _ : state) {
+    f();
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_UniqueFunctionInvoke);
+
+void BM_Xoshiro(benchmark::State& state) {
+  Xoshiro256 rng(1);
+  std::uint64_t acc = 0;
+  for (auto _ : state) {
+    acc ^= rng.uniform(1'000'000);
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_Xoshiro);
+
+}  // namespace
+
+BENCHMARK_MAIN();

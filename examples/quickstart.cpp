@@ -1,0 +1,47 @@
+// Quickstart — the paper's Listing 1 "Hello World", in this library's C++.
+//
+//   * define an active message type (the #[AmData]/#[am] macros become a
+//     serialize() member + LAMELLAR_REGISTER_AM);
+//   * launch it on every PE (exec_am_all) and on one PE (exec_am_pe);
+//   * await with block_on (blocks only the local PE), drain with
+//     wait_all(), synchronize with barrier();
+//   * finalization is implicit: each PE keeps serving AMs until all PEs
+//     are ready to shut down (run_world handles it).
+#include <cstdio>
+
+#include "lamellar.hpp"
+
+using namespace lamellar;
+
+struct HelloWorldAm {
+  std::string name;
+
+  template <class Archive>
+  void serialize(Archive& ar) {
+    ar(name);
+  }
+
+  void exec(AmContext& ctx) {
+    std::printf("PE%zu: hello %s!\n", ctx.current_pe(), name.c_str());
+  }
+};
+
+LAMELLAR_REGISTER_AM(HelloWorldAm);
+
+int main() {
+  // Listing 1's WorldBuilder::new().build() + slurm launch collapse into
+  // run_world: one SPMD body per PE inside this process.
+  run_world(4, [](World& world) {
+    HelloWorldAm am{"World"};
+    auto request = world.exec_am_all(am);  // all PEs
+    world.block_on(std::move(request));    // only blocks the local PE
+    world.barrier();                       // global sync
+
+    if (world.my_pe() != 0) {
+      world.exec_am_pe(0, HelloWorldAm{"World2"});  // send to PE0
+      world.wait_all();  // only blocks the local PE
+    }
+    world.barrier();
+  });
+  return 0;
+}

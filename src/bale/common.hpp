@@ -1,0 +1,38 @@
+// Shared plumbing for the BALE kernel implementations (paper Sec. IV-B):
+// backend selection, timing in virtual nanoseconds, and small collectives
+// used for verification.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/memregion/shared_region.hpp"
+#include "core/world/world.hpp"
+
+namespace lamellar::bale {
+
+/// Aggregation backend used by a kernel run — one per curve in Figs. 3-5.
+enum class Backend {
+  kLamellarAm,     ///< hand-aggregated lamellar Active Messages
+  kLamellarArray,  ///< LamellarArray batch operations (Atomic/ReadOnly)
+  kExstack,        ///< BALE Exstack (bulk-synchronous)
+  kExstack2,       ///< BALE Exstack2 (asynchronous)
+  kConveyor,       ///< BALE Conveyors (two-hop)
+  kSelector,       ///< HClib Selectors (actors)
+  kChapel,         ///< Chapel automatic aggregation
+};
+
+const char* backend_name(Backend b);
+
+struct KernelResult {
+  std::uint64_t ops = 0;          ///< operations this PE issued
+  sim_nanos elapsed_ns = 0;       ///< virtual time of the timed section
+  bool verified = false;          ///< invariant check result (on PE 0)
+  double rate_mops = 0.0;         ///< ops/us aggregate, filled by callers
+};
+
+/// Sum one u64 per PE (via remote atomics on a symmetric slot + barrier);
+/// every PE returns the total.  Collective.
+std::uint64_t global_sum_u64(World& world, std::uint64_t local);
+
+}  // namespace lamellar::bale

@@ -1,0 +1,320 @@
+#include "bale/histogram.hpp"
+
+#include "baselines/chapel_agg/chapel_agg.hpp"
+#include "baselines/conveyor/conveyor.hpp"
+#include "baselines/exstack/exstack.hpp"
+#include "baselines/exstack2/exstack2.hpp"
+#include "baselines/selector/selector.hpp"
+#include "common/rng.hpp"
+#include "core/array/arrays.hpp"
+
+namespace lamellar::bale {
+
+const char* backend_name(Backend b) {
+  switch (b) {
+    case Backend::kLamellarAm:
+      return "Lamellar AM";
+    case Backend::kLamellarArray:
+      return "Lamellar Array";
+    case Backend::kExstack:
+      return "Exstack";
+    case Backend::kExstack2:
+      return "Exstack2";
+    case Backend::kConveyor:
+      return "Conveyors";
+    case Backend::kSelector:
+      return "Selectors";
+    case Backend::kChapel:
+      return "Chapel";
+  }
+  return "?";
+}
+
+std::uint64_t global_sum_u64(World& world, std::uint64_t local) {
+  auto slot = SharedMemoryRegion<std::uint64_t>::create(world, 1);
+  slot.unsafe_local_slice()[0] = 0;
+  world.barrier();
+  for (pe_id pe = 0; pe < world.num_pes(); ++pe) {
+    world.lamellae().atomic_fetch_add_u64(pe, slot.arena_offset(), local);
+  }
+  world.barrier();
+  const std::uint64_t total = slot.unsafe_local_slice()[0];
+  world.barrier();
+  return total;
+}
+
+namespace {
+
+/// The hand-aggregated AM (paper: "uses AMs to manually aggregate indices
+/// (into a Vec) by destination PE ... the AM iterates through the Vec of
+/// indices and atomically updates the corresponding entries").
+struct HistoUpdateAm {
+  Darc<ArrayState<std::uint64_t>> table;
+  std::vector<std::uint64_t> locals;
+
+  template <class Ar>
+  void serialize(Ar& ar) {
+    ar(table, locals);
+  }
+
+  void exec(AmContext&) {
+    ArrayState<std::uint64_t>& st = *table;
+    auto slab = st.local_slab();
+    st.world->lamellae().charge(st.world->lamellae().params().atomic_store_ns *
+                                static_cast<double>(locals.size()));
+    for (auto idx : locals) {
+      std::atomic_ref<std::uint64_t> ref(slab[idx]);
+      ref.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+};
+
+}  // namespace
+}  // namespace lamellar::bale
+
+LAMELLAR_REGISTER_AM(lamellar::bale::HistoUpdateAm);
+
+namespace lamellar::bale {
+namespace {
+
+std::vector<global_index> make_indices(World& world,
+                                       const HistogramParams& p) {
+  auto rng = pe_rng(p.seed, world.my_pe());
+  const std::uint64_t table_len = p.table_per_pe * world.num_pes();
+  std::vector<global_index> idxs(p.updates_per_pe);
+  for (auto& i : idxs) i = rng.uniform(table_len);
+  return idxs;
+}
+
+/// Generic driver for the push-style baseline libraries (Exstack2-like API:
+/// push / done / proceed / pop).
+template <typename Lib>
+KernelResult histogram_push_lib(World& world, const HistogramParams& p,
+                                Lib& lib) {
+  auto idxs = make_indices(world, p);
+  std::vector<std::uint64_t> local_table(p.table_per_pe, 0);
+  const std::size_t n = world.num_pes();
+
+  world.barrier();
+  const sim_nanos t0 = world.time_ns();
+  for (auto gi : idxs) {
+    lib.push(gi / p.table_per_pe, static_cast<std::uint64_t>(
+                                      gi % p.table_per_pe));
+    while (auto item = lib.pop()) local_table[item->second] += 1;
+    // Charge the per-op packing cost the C libraries pay.
+    world.lamellae().charge(3.0);
+  }
+  lib.done();
+  while (lib.proceed()) {
+    while (auto item = lib.pop()) local_table[item->second] += 1;
+  }
+  while (auto item = lib.pop()) local_table[item->second] += 1;
+  world.barrier();
+  const sim_nanos t1 = world.time_ns();
+
+  std::uint64_t local_sum = 0;
+  for (auto v : local_table) local_sum += v;
+  const std::uint64_t total = global_sum_u64(world, local_sum);
+
+  KernelResult r;
+  r.ops = p.updates_per_pe;
+  r.elapsed_ns = t1 - t0;
+  r.verified = total == p.updates_per_pe * n;
+  return r;
+}
+
+KernelResult histogram_lamellar_array(World& world,
+                                      const HistogramParams& p) {
+  auto table = AtomicArray<std::uint64_t>::create(
+      world, p.table_per_pe * world.num_pes(), Distribution::kBlock);
+  table.fill(0);
+  auto idxs = make_indices(world, p);
+
+  world.barrier();
+  const sim_nanos t0 = world.time_ns();
+  // Listing 2: world.block_on(table.batch_add(rnd_i, 1)); the runtime
+  // splits into sub-batches of agg_limit per destination.
+  world.block_on(table.batch_add(idxs, 1));
+  world.barrier();
+  const sim_nanos t1 = world.time_ns();
+
+  const auto sum = world.block_on(table.sum());
+  world.barrier();
+
+  KernelResult r;
+  r.ops = p.updates_per_pe;
+  r.elapsed_ns = t1 - t0;
+  r.verified = sum == p.updates_per_pe * world.num_pes();
+  return r;
+}
+
+KernelResult histogram_lamellar_am(World& world, const HistogramParams& p) {
+  auto table = AtomicArray<std::uint64_t>::create(
+      world, p.table_per_pe * world.num_pes(), Distribution::kBlock);
+  table.fill(0);
+  auto idxs = make_indices(world, p);
+  // Reach under the safe wrapper for the state darc the AMs carry; the AM
+  // itself only uses safe atomic accesses (the paper's AM variant is all
+  // safe code).
+  auto state = table.state_darc();
+
+  world.barrier();
+  const sim_nanos t0 = world.time_ns();
+  std::vector<std::vector<std::uint64_t>> bufs(world.num_pes());
+  for (auto& b : bufs) b.reserve(p.agg_limit);
+  for (auto gi : idxs) {
+    const pe_id dst = gi / p.table_per_pe;
+    auto& buf = bufs[dst];
+    buf.push_back(gi % p.table_per_pe);
+    if (buf.size() >= p.agg_limit) {
+      world.engine().send_cb(dst, HistoUpdateAm{state, std::move(buf)},
+                             [](Unit) {});
+      buf = {};
+      buf.reserve(p.agg_limit);
+    }
+  }
+  for (pe_id dst = 0; dst < world.num_pes(); ++dst) {
+    if (!bufs[dst].empty()) {
+      world.engine().send_cb(dst, HistoUpdateAm{state, std::move(bufs[dst])},
+                             [](Unit) {});
+    }
+  }
+  world.wait_all();
+  world.barrier();
+  const sim_nanos t1 = world.time_ns();
+
+  const auto sum = world.block_on(table.sum());
+  world.barrier();
+
+  KernelResult r;
+  r.ops = p.updates_per_pe;
+  r.elapsed_ns = t1 - t0;
+  r.verified = sum == p.updates_per_pe * world.num_pes();
+  return r;
+}
+
+KernelResult histogram_exstack(World& world, const HistogramParams& p) {
+  auto idxs = make_indices(world, p);
+  std::vector<std::uint64_t> local_table(p.table_per_pe, 0);
+  baselines::Exstack<std::uint64_t> ex(world, p.agg_limit);
+
+  world.barrier();
+  const sim_nanos t0 = world.time_ns();
+  std::size_t next = 0;
+  bool more = true;
+  while (more) {
+    while (next < idxs.size() &&
+           ex.push(idxs[next] / p.table_per_pe,
+                   idxs[next] % p.table_per_pe)) {
+      ++next;
+      world.lamellae().charge(3.0);
+    }
+    more = ex.proceed(next == idxs.size());
+    while (auto item = ex.pop()) local_table[item->second] += 1;
+  }
+  world.barrier();
+  const sim_nanos t1 = world.time_ns();
+
+  std::uint64_t local_sum = 0;
+  for (auto v : local_table) local_sum += v;
+  const std::uint64_t total = global_sum_u64(world, local_sum);
+
+  KernelResult r;
+  r.ops = p.updates_per_pe;
+  r.elapsed_ns = t1 - t0;
+  r.verified = total == p.updates_per_pe * world.num_pes();
+  return r;
+}
+
+KernelResult histogram_chapel(World& world, const HistogramParams& p) {
+  auto idxs = make_indices(world, p);
+  std::vector<std::uint64_t> local_table(p.table_per_pe, 0);
+  // Chapel's DstAggregator applies "table[i] += 1" on the owning locale.
+  baselines::DstAggregator<std::uint64_t> agg(
+      world, p.agg_limit,
+      [&local_table](std::uint64_t local, std::uint64_t v) {
+        local_table[local] += v;
+      });
+
+  world.barrier();
+  const sim_nanos t0 = world.time_ns();
+  for (auto gi : idxs) {
+    agg.update(gi / p.table_per_pe, gi % p.table_per_pe, 1);
+    world.lamellae().charge(2.5);
+  }
+  agg.done();
+  while (agg.proceed()) {
+  }
+  world.barrier();
+  const sim_nanos t1 = world.time_ns();
+
+  std::uint64_t local_sum = 0;
+  for (auto v : local_table) local_sum += v;
+  const std::uint64_t total = global_sum_u64(world, local_sum);
+
+  KernelResult r;
+  r.ops = p.updates_per_pe;
+  r.elapsed_ns = t1 - t0;
+  r.verified = total == p.updates_per_pe * world.num_pes();
+  return r;
+}
+
+KernelResult histogram_selector(World& world, const HistogramParams& p) {
+  auto idxs = make_indices(world, p);
+  std::vector<std::uint64_t> local_table(p.table_per_pe, 0);
+  baselines::Selector<std::uint64_t, 1> sel(world, p.agg_limit);
+  sel.on_message(0, [&local_table](std::uint64_t local, pe_id) {
+    local_table[local] += 1;
+  });
+
+  world.barrier();
+  const sim_nanos t0 = world.time_ns();
+  for (auto gi : idxs) {
+    sel.send(0, gi / p.table_per_pe, gi % p.table_per_pe);
+    world.lamellae().charge(3.5);  // actor envelope handling
+    sel.proceed();
+  }
+  sel.done();
+  sel.run_to_completion();
+  world.barrier();
+  const sim_nanos t1 = world.time_ns();
+
+  std::uint64_t local_sum = 0;
+  for (auto v : local_table) local_sum += v;
+  const std::uint64_t total = global_sum_u64(world, local_sum);
+
+  KernelResult r;
+  r.ops = p.updates_per_pe;
+  r.elapsed_ns = t1 - t0;
+  r.verified = total == p.updates_per_pe * world.num_pes();
+  return r;
+}
+
+}  // namespace
+
+KernelResult histogram_kernel(World& world, Backend backend,
+                              const HistogramParams& p) {
+  switch (backend) {
+    case Backend::kLamellarArray:
+      return histogram_lamellar_array(world, p);
+    case Backend::kLamellarAm:
+      return histogram_lamellar_am(world, p);
+    case Backend::kExstack:
+      return histogram_exstack(world, p);
+    case Backend::kExstack2: {
+      baselines::Exstack2<std::uint64_t> lib(world, p.agg_limit);
+      return histogram_push_lib(world, p, lib);
+    }
+    case Backend::kConveyor: {
+      baselines::Conveyor<std::uint64_t> lib(world, p.agg_limit);
+      return histogram_push_lib(world, p, lib);
+    }
+    case Backend::kSelector:
+      return histogram_selector(world, p);
+    case Backend::kChapel:
+      return histogram_chapel(world, p);
+  }
+  throw Error("unknown histogram backend");
+}
+
+}  // namespace lamellar::bale

@@ -1,0 +1,22 @@
+// The BALE Histogram kernel (paper Sec. IV-B1): every PE issues
+// `updates_per_pe` increments to uniformly random slots of a distributed
+// table — the GUPS-style small-message all-to-all pattern — through a chosen
+// aggregation backend.  Verification: sum(table) == total updates.
+#pragma once
+
+#include "bale/common.hpp"
+
+namespace lamellar::bale {
+
+struct HistogramParams {
+  std::size_t table_per_pe = 1'000;      ///< paper: 1000 elements per core
+  std::size_t updates_per_pe = 100'000;  ///< paper: 10M per core (scaled)
+  std::size_t agg_limit = 10'000;        ///< paper: 10k ops per buffer
+  std::uint64_t seed = 42;
+};
+
+/// Run histogram on the calling PE (collective: all PEs call).
+KernelResult histogram_kernel(World& world, Backend backend,
+                              const HistogramParams& params);
+
+}  // namespace lamellar::bale

@@ -1,0 +1,345 @@
+#include "bale/indexgather.hpp"
+
+#include "baselines/chapel_agg/chapel_agg.hpp"
+#include "baselines/conveyor/conveyor.hpp"
+#include "baselines/exstack/exstack.hpp"
+#include "baselines/exstack2/exstack2.hpp"
+#include "baselines/selector/selector.hpp"
+#include "common/rng.hpp"
+#include "core/array/arrays.hpp"
+
+namespace lamellar::bale {
+namespace {
+
+/// Request: "send me table[slot], tag the answer with pos".
+struct IgReq {
+  std::uint64_t slot;
+  std::uint64_t pos;
+};
+
+/// Response: "the value for your request tagged pos".
+struct IgRsp {
+  std::uint64_t pos;
+  std::uint64_t value;
+};
+
+/// Manual lamellar-AM gather: a batch of local slots is read owner-side and
+/// the values return as the AM's result (paper's hand-aggregated variant).
+struct IgGatherAm {
+  Darc<ArrayState<std::uint64_t>> table;
+  std::vector<std::uint64_t> locals;
+
+  template <class Ar>
+  void serialize(Ar& ar) {
+    ar(table, locals);
+  }
+
+  std::vector<std::uint64_t> exec(AmContext&) {
+    auto slab = table->local_slab();
+    std::vector<std::uint64_t> out;
+    out.reserve(locals.size());
+    for (auto idx : locals) out.push_back(slab[idx]);
+    return out;
+  }
+};
+
+}  // namespace
+}  // namespace lamellar::bale
+
+LAMELLAR_REGISTER_AM(lamellar::bale::IgGatherAm);
+
+namespace lamellar::bale {
+namespace {
+
+std::vector<global_index> make_requests(World& world,
+                                        const IndexGatherParams& p) {
+  auto rng = pe_rng(p.seed, world.my_pe());
+  const std::uint64_t table_len = p.table_per_pe * world.num_pes();
+  std::vector<global_index> idxs(p.requests_per_pe);
+  for (auto& i : idxs) i = rng.uniform(table_len);
+  return idxs;
+}
+
+bool verify_gather(World& world, const std::vector<global_index>& idxs,
+                   const std::vector<std::uint64_t>& target) {
+  // table[i] == i, so target[k] must equal idxs[k].
+  for (std::size_t k = 0; k < idxs.size(); ++k) {
+    if (target[k] != idxs[k]) return false;
+  }
+  const std::uint64_t ok = global_sum_u64(world, 1);
+  return ok == world.num_pes();
+}
+
+/// Local slab of the distributed identity table (table[i] = i).
+std::vector<std::uint64_t> make_local_table(World& world,
+                                            std::size_t table_per_pe) {
+  std::vector<std::uint64_t> t(table_per_pe);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    t[i] = world.my_pe() * table_per_pe + i;
+  }
+  return t;
+}
+
+KernelResult ig_lamellar_array(World& world, const IndexGatherParams& p) {
+  auto tmp = UnsafeArray<std::uint64_t>::create(
+      world, p.table_per_pe * world.num_pes(), Distribution::kBlock);
+  {
+    auto local = tmp.unsafe_local_slice();
+    const std::uint64_t base = world.my_pe() * p.table_per_pe;
+    for (std::size_t i = 0; i < local.size(); ++i) local[i] = base + i;
+  }
+  world.barrier();
+  auto table = std::move(tmp).into_read_only();
+  auto idxs = make_requests(world, p);
+
+  world.barrier();
+  const sim_nanos t0 = world.time_ns();
+  // Paper: target = world.block_on(table.batch_load(rnd_idxs));
+  auto target = world.block_on(table.batch_load(idxs));
+  world.barrier();
+  const sim_nanos t1 = world.time_ns();
+
+  KernelResult r;
+  r.ops = p.requests_per_pe;
+  r.elapsed_ns = t1 - t0;
+  r.verified = verify_gather(world, idxs, target);
+  return r;
+}
+
+KernelResult ig_lamellar_am(World& world, const IndexGatherParams& p) {
+  auto table = UnsafeArray<std::uint64_t>::create(
+      world, p.table_per_pe * world.num_pes(), Distribution::kBlock);
+  {
+    auto local = table.unsafe_local_slice();
+    const std::uint64_t base = world.my_pe() * p.table_per_pe;
+    for (std::size_t i = 0; i < local.size(); ++i) local[i] = base + i;
+  }
+  world.barrier();
+  auto state = table.state_darc();
+  auto idxs = make_requests(world, p);
+  std::vector<std::uint64_t> target(idxs.size(), ~0ULL);
+
+  world.barrier();
+  const sim_nanos t0 = world.time_ns();
+  std::vector<std::vector<std::uint64_t>> locals(world.num_pes());
+  std::vector<std::vector<std::size_t>> positions(world.num_pes());
+  auto send_chunk = [&](pe_id dst) {
+    world.engine().send_cb(
+        dst, IgGatherAm{state, std::move(locals[dst])},
+        [&target, pos = std::move(positions[dst])](
+            std::vector<std::uint64_t> vals) {
+          for (std::size_t j = 0; j < vals.size(); ++j) {
+            target[pos[j]] = vals[j];
+          }
+        });
+    locals[dst] = {};
+    positions[dst] = {};
+  };
+  for (std::size_t k = 0; k < idxs.size(); ++k) {
+    const pe_id dst = idxs[k] / p.table_per_pe;
+    locals[dst].push_back(idxs[k] % p.table_per_pe);
+    positions[dst].push_back(k);
+    if (locals[dst].size() >= p.agg_limit) send_chunk(dst);
+  }
+  for (pe_id dst = 0; dst < world.num_pes(); ++dst) {
+    if (!locals[dst].empty()) send_chunk(dst);
+  }
+  world.wait_all();
+  world.barrier();
+  const sim_nanos t1 = world.time_ns();
+
+  KernelResult r;
+  r.ops = p.requests_per_pe;
+  r.elapsed_ns = t1 - t0;
+  r.verified = verify_gather(world, idxs, target);
+  return r;
+}
+
+KernelResult ig_chapel(World& world, const IndexGatherParams& p) {
+  auto local_table = make_local_table(world, p.table_per_pe);
+  // The table must be RDMA-readable: place it in a symmetric region.
+  auto region =
+      SharedMemoryRegion<std::uint64_t>::create(world, p.table_per_pe);
+  std::copy(local_table.begin(), local_table.end(),
+            region.unsafe_local_slice().begin());
+  world.barrier();
+
+  auto idxs = make_requests(world, p);
+  std::vector<std::uint64_t> target(idxs.size(), ~0ULL);
+  baselines::SrcAggregator<std::uint64_t> agg(world, p.agg_limit,
+                                              region.arena_offset(), target);
+
+  world.barrier();
+  const sim_nanos t0 = world.time_ns();
+  for (std::size_t k = 0; k < idxs.size(); ++k) {
+    agg.gather(idxs[k] / p.table_per_pe, idxs[k] % p.table_per_pe, k);
+    world.lamellae().charge(2.0);
+  }
+  agg.flush_all();
+  world.barrier();
+  const sim_nanos t1 = world.time_ns();
+
+  KernelResult r;
+  r.ops = p.requests_per_pe;
+  r.elapsed_ns = t1 - t0;
+  r.verified = verify_gather(world, idxs, target);
+  return r;
+}
+
+/// Generic request/reply driver over the asynchronous push libraries: one
+/// instance carries requests, a second carries responses; the response side
+/// declares done once the request side has fully drained.
+template <typename ReqLib, typename RspLib>
+KernelResult ig_request_reply(World& world, const IndexGatherParams& p,
+                              ReqLib& req_lib, RspLib& rsp_lib,
+                              double per_op_cost) {
+  auto local_table = make_local_table(world, p.table_per_pe);
+  auto idxs = make_requests(world, p);
+  std::vector<std::uint64_t> target(idxs.size(), ~0ULL);
+  std::uint64_t answered = 0;
+  bool rsp_done = false;
+
+  auto serve = [&] {
+    while (auto msg = req_lib.pop()) {
+      const auto [src, rq] = *msg;
+      rsp_lib.push(src, IgRsp{rq.pos, local_table[rq.slot]});
+    }
+    while (auto msg = rsp_lib.pop()) {
+      target[msg->second.pos] = msg->second.value;
+      ++answered;
+    }
+  };
+
+  world.barrier();
+  const sim_nanos t0 = world.time_ns();
+  for (std::size_t k = 0; k < idxs.size(); ++k) {
+    req_lib.push(idxs[k] / p.table_per_pe,
+                 IgReq{idxs[k] % p.table_per_pe, k});
+    world.lamellae().charge(per_op_cost);
+    serve();
+  }
+  req_lib.done();
+  bool req_active = true;
+  while (req_active || answered < idxs.size()) {
+    req_active = req_lib.proceed();
+    serve();
+    if (!req_active && !rsp_done) {
+      rsp_lib.done();
+      rsp_done = true;
+    }
+    rsp_lib.proceed();
+    serve();
+  }
+  // Drain the response channel termination handshake.
+  rsp_lib.done();
+  while (rsp_lib.proceed()) serve();
+  world.barrier();
+  const sim_nanos t1 = world.time_ns();
+
+  KernelResult r;
+  r.ops = p.requests_per_pe;
+  r.elapsed_ns = t1 - t0;
+  r.verified = verify_gather(world, idxs, target);
+  return r;
+}
+
+KernelResult ig_exstack(World& world, const IndexGatherParams& p) {
+  auto local_table = make_local_table(world, p.table_per_pe);
+  auto idxs = make_requests(world, p);
+  std::vector<std::uint64_t> target(idxs.size(), ~0ULL);
+  baselines::Exstack<IgReq> req(world, p.agg_limit);
+  baselines::Exstack<IgRsp> rsp(world, p.agg_limit);
+  std::uint64_t answered = 0;
+  std::vector<std::pair<pe_id, IgReq>> stash;
+
+  world.barrier();
+  const sim_nanos t0 = world.time_ns();
+  std::size_t next = 0;
+  bool req_more = true;
+  bool rsp_more = true;
+  while (req_more || rsp_more) {
+    while (next < idxs.size() &&
+           req.push(idxs[next] / p.table_per_pe,
+                    IgReq{idxs[next] % p.table_per_pe, next})) {
+      world.lamellae().charge(3.0);
+      ++next;
+    }
+    if (req_more) {
+      req_more = req.proceed(next == idxs.size());
+    }
+    bool rsp_full = false;
+    while (auto msg = req.pop()) {
+      const auto [src, rq] = *msg;
+      if (!rsp.push(src, IgRsp{rq.pos, local_table[rq.slot]})) {
+        // Response buffer full: put the request back conceptually by
+        // serving after the exchange; simplest is to stash it.
+        stash.push_back({src, rq});
+        rsp_full = true;
+        break;
+      }
+    }
+    rsp_more = rsp.proceed(!req_more && stash.empty() && !rsp_full);
+    // Retry stashed requests now that response buffers drained.
+    auto pending = std::move(stash);
+    stash.clear();
+    for (const auto& [src, rq] : pending) {
+      if (!rsp.push(src, IgRsp{rq.pos, local_table[rq.slot]})) {
+        stash.push_back({src, rq});
+      }
+    }
+    while (auto msg = rsp.pop()) {
+      target[msg->second.pos] = msg->second.value;
+      ++answered;
+    }
+  }
+  world.barrier();
+  const sim_nanos t1 = world.time_ns();
+
+  KernelResult r;
+  r.ops = p.requests_per_pe;
+  r.elapsed_ns = t1 - t0;
+  r.verified = answered == idxs.size() && verify_gather(world, idxs, target);
+  return r;
+}
+
+}  // namespace
+
+KernelResult indexgather_kernel(World& world, Backend backend,
+                                const IndexGatherParams& p) {
+  switch (backend) {
+    case Backend::kLamellarArray:
+      return ig_lamellar_array(world, p);
+    case Backend::kLamellarAm:
+      return ig_lamellar_am(world, p);
+    case Backend::kChapel:
+      return ig_chapel(world, p);
+    case Backend::kExstack:
+      return ig_exstack(world, p);
+    case Backend::kExstack2: {
+      baselines::Exstack2<IgReq> req(world, p.agg_limit);
+      baselines::Exstack2<IgRsp> rsp(world, p.agg_limit);
+      req.set_progress_hook([&rsp] { rsp.pump(); });
+      rsp.set_progress_hook([&req] { req.pump(); });
+      return ig_request_reply(world, p, req, rsp, 3.0);
+    }
+    case Backend::kConveyor: {
+      baselines::Conveyor<IgReq> req(world, p.agg_limit);
+      baselines::Conveyor<IgRsp> rsp(world, p.agg_limit);
+      req.set_progress_hook([&rsp] { rsp.pump(); });
+      rsp.set_progress_hook([&req] { req.pump(); });
+      return ig_request_reply(world, p, req, rsp, 3.0);
+    }
+    case Backend::kSelector: {
+      baselines::Exstack2<IgReq> req(world, p.agg_limit);
+      baselines::Exstack2<IgRsp> rsp(world, p.agg_limit);
+      req.set_progress_hook([&rsp] { rsp.pump(); });
+      rsp.set_progress_hook([&req] { req.pump(); });
+      // Selectors layer actor mailboxes over the same async transport; the
+      // extra envelope cost is charged per op.
+      return ig_request_reply(world, p, req, rsp, 4.0);
+    }
+  }
+  throw Error("unknown indexgather backend");
+}
+
+}  // namespace lamellar::bale

@@ -1,0 +1,23 @@
+// The BALE IndexGather kernel (paper Sec. IV-B2): every PE reads
+// `requests_per_pe` uniformly random elements of a distributed table into a
+// local target array — harder than Histogram because the runtime must both
+// carry the requests and return the values.
+// Verification: target[i] == table[rand_idx[i]] for all i (table holds its
+// global index).
+#pragma once
+
+#include "bale/common.hpp"
+
+namespace lamellar::bale {
+
+struct IndexGatherParams {
+  std::size_t table_per_pe = 1'000;
+  std::size_t requests_per_pe = 100'000;
+  std::size_t agg_limit = 10'000;
+  std::uint64_t seed = 43;
+};
+
+KernelResult indexgather_kernel(World& world, Backend backend,
+                                const IndexGatherParams& params);
+
+}  // namespace lamellar::bale

@@ -1,0 +1,463 @@
+#include "bale/randperm.hpp"
+
+#include <mutex>
+
+#include "baselines/exstack/exstack.hpp"
+#include "common/rng.hpp"
+#include "core/array/arrays.hpp"
+
+namespace lamellar::bale {
+
+inline constexpr std::uint64_t kEmptySlot = ~0ULL;
+
+namespace {
+
+/// Throw a batch of darts at given local slots; returns the values that
+/// bounced (slot occupied).
+struct ThrowAm {
+  Darc<ArrayState<std::uint64_t>> target;
+  std::vector<std::uint64_t> slots;   ///< local slot per dart
+  std::vector<std::uint64_t> values;  ///< dart values
+
+  template <class Ar>
+  void serialize(Ar& ar) {
+    ar(target, slots, values);
+  }
+
+  std::vector<std::uint64_t> exec(AmContext&) {
+    auto slab = target->local_slab();
+    std::vector<std::uint64_t> failed;
+    for (std::size_t j = 0; j < slots.size(); ++j) {
+      std::atomic_ref<std::uint64_t> ref(slab[slots[j]]);
+      std::uint64_t expected = kEmptySlot;
+      if (!ref.compare_exchange_strong(expected, values[j],
+                                       std::memory_order_acq_rel)) {
+        failed.push_back(values[j]);
+      }
+    }
+    target->world->lamellae().charge(
+        target->world->lamellae().params().atomic_store_ns *
+        static_cast<double>(slots.size()));
+    return failed;
+  }
+};
+
+/// AmDartOpt: bounced darts retry at random slots *on this PE* before
+/// reporting failure (paper: "randomly select a new location on the current
+/// PE (unless all locations on this PE are filled)").
+struct ThrowOptAm {
+  Darc<ArrayState<std::uint64_t>> target;
+  std::vector<std::uint64_t> slots;
+  std::vector<std::uint64_t> values;
+
+  template <class Ar>
+  void serialize(Ar& ar) {
+    ar(target, slots, values);
+  }
+
+  std::vector<std::uint64_t> exec(AmContext&) {
+    ArrayState<std::uint64_t>& st = *target;
+    auto slab = st.local_slab();
+    const std::size_t local_len = st.map.local_len(st.my_rank());
+    std::vector<std::uint64_t> failed;
+    for (std::size_t j = 0; j < slots.size(); ++j) {
+      if (try_stick(slab, slots[j], values[j])) continue;
+      // Local retries, seeded by the dart for determinism.
+      SplitMix64 sm(values[j] * 0x9e3779b97f4a7c15ULL + 1);
+      bool stuck = false;
+      for (int attempt = 0; attempt < 32 && !stuck; ++attempt) {
+        stuck = try_stick(slab, sm.next() % local_len, values[j]);
+      }
+      if (stuck) continue;
+      // Linear sweep: stick anywhere local, or report failure (PE full).
+      for (std::size_t s = 0; s < local_len && !stuck; ++s) {
+        stuck = try_stick(slab, s, values[j]);
+      }
+      if (!stuck) failed.push_back(values[j]);
+    }
+    st.world->lamellae().charge(
+        st.world->lamellae().params().atomic_store_ns *
+        static_cast<double>(slots.size()));
+    return failed;
+  }
+
+  static bool try_stick(std::span<std::uint64_t> slab, std::uint64_t slot,
+                        std::uint64_t value) {
+    std::atomic_ref<std::uint64_t> ref(slab[slot]);
+    std::uint64_t expected = kEmptySlot;
+    return ref.compare_exchange_strong(expected, value,
+                                       std::memory_order_acq_rel);
+  }
+};
+
+/// AmPush target: a growable per-PE segment appended under a mutex.
+struct PushBox {
+  std::mutex mu;
+  std::vector<std::uint64_t> values;
+  PushBox() = default;
+  PushBox(PushBox&& o) noexcept : values(std::move(o.values)) {}
+};
+
+struct PushAm {
+  Darc<PushBox> box;
+  std::vector<std::uint64_t> values;
+
+  template <class Ar>
+  void serialize(Ar& ar) {
+    ar(box, values);
+  }
+
+  void exec(AmContext& ctx) {
+    ctx.world().lamellae().charge(2.0 *
+                                  static_cast<double>(values.size()));
+    std::lock_guard lock(box->mu);
+    box->values.insert(box->values.end(), values.begin(), values.end());
+  }
+};
+
+}  // namespace
+}  // namespace lamellar::bale
+
+LAMELLAR_REGISTER_AM(lamellar::bale::ThrowAm);
+LAMELLAR_REGISTER_AM(lamellar::bale::ThrowOptAm);
+LAMELLAR_REGISTER_AM(lamellar::bale::PushAm);
+
+namespace lamellar::bale {
+namespace {
+
+/// Verify a permutation of 0..N-1 distributed as per-PE chunks: mark each
+/// value once and check every mark is exactly 1.
+bool verify_permutation(World& world, std::span<const std::uint64_t> my_part,
+                        std::uint64_t n_total) {
+  auto marks =
+      AtomicArray<std::uint64_t>::create(world, n_total, Distribution::kBlock);
+  marks.fill(0);
+  std::vector<global_index> idxs(my_part.begin(), my_part.end());
+  world.block_on(marks.batch_add(idxs, 1));
+  world.barrier();
+  const auto total = world.block_on(marks.sum());
+  const auto mx = world.block_on(marks.max());
+  const auto mn = world.block_on(marks.min());
+  world.barrier();
+  return total == n_total && mx == 1 && mn == 1;
+}
+
+/// Exclusive prefix sum of per-PE counts (returns this PE's offset and the
+/// grand total).  Collective.
+std::pair<std::uint64_t, std::uint64_t> exclusive_scan(World& world,
+                                                       std::uint64_t count) {
+  auto region =
+      SharedMemoryRegion<std::uint64_t>::create(world, world.num_pes());
+  for (pe_id pe = 0; pe < world.num_pes(); ++pe) {
+    region.unsafe_put(pe, world.my_pe(),
+                      std::span<const std::uint64_t>(&count, 1));
+  }
+  world.barrier();
+  auto counts = region.unsafe_local_slice();
+  std::uint64_t before = 0, total = 0;
+  for (pe_id pe = 0; pe < world.num_pes(); ++pe) {
+    if (pe < world.my_pe()) before += counts[pe];
+    total += counts[pe];
+  }
+  world.barrier();
+  return {before, total};
+}
+
+struct DartPlan {
+  std::vector<std::vector<std::uint64_t>> slots;   // per dst rank
+  std::vector<std::vector<std::uint64_t>> values;  // per dst rank
+};
+
+/// Generic AM dart loop shared by kAmDart / kAmDartOpt.
+template <typename Am>
+std::vector<std::uint64_t> am_dart_loop(World& world,
+                                        AtomicArray<std::uint64_t>& target,
+                                        const RandpermParams& p,
+                                        std::uint64_t target_len,
+                                        std::uint64_t per_pe_cap) {
+  auto state = target.state_darc();
+  const std::uint64_t base = world.my_pe() * p.perm_per_pe;
+  std::vector<std::uint64_t> pending(p.perm_per_pe);
+  for (std::size_t i = 0; i < pending.size(); ++i) pending[i] = base + i;
+
+  auto rng = pe_rng(p.seed, world.my_pe());
+  std::mutex requeue_mu;
+  std::vector<std::uint64_t> requeue;
+  std::atomic<std::uint64_t> stuck{0};
+
+  while (stuck.load(std::memory_order_acquire) < p.perm_per_pe) {
+    if (pending.empty()) {
+      {
+        std::lock_guard lock(requeue_mu);
+        pending.swap(requeue);
+      }
+      if (pending.empty()) {
+        if (!world.pool().try_run_one()) world.engine().poll_inbox();
+        continue;
+      }
+    }
+    DartPlan plan;
+    plan.slots.resize(world.num_pes());
+    plan.values.resize(world.num_pes());
+    for (auto value : pending) {
+      const std::uint64_t slot = rng.uniform(target_len);
+      const pe_id dst = slot / per_pe_cap;
+      plan.slots[dst].push_back(slot % per_pe_cap);
+      plan.values[dst].push_back(value);
+    }
+    pending.clear();
+    for (pe_id dst = 0; dst < world.num_pes(); ++dst) {
+      auto& slots = plan.slots[dst];
+      auto& values = plan.values[dst];
+      for (std::size_t off = 0; off < slots.size(); off += p.agg_limit) {
+        const std::size_t n = std::min(p.agg_limit, slots.size() - off);
+        Am am;
+        am.target = state;
+        am.slots.assign(slots.begin() + off, slots.begin() + off + n);
+        am.values.assign(values.begin() + off, values.begin() + off + n);
+        world.engine().send_cb(
+            dst, std::move(am),
+            [&stuck, &requeue_mu, &requeue,
+             n](std::vector<std::uint64_t> failed) {
+              stuck.fetch_add(n - failed.size(), std::memory_order_acq_rel);
+              if (!failed.empty()) {
+                std::lock_guard lock(requeue_mu);
+                requeue.insert(requeue.end(), failed.begin(), failed.end());
+              }
+            });
+      }
+    }
+  }
+  world.wait_all();
+  world.barrier();
+
+  // Collect: my permutation chunk = my target slots in order, non-empty.
+  std::vector<std::uint64_t> mine;
+  {
+    auto slab = target.state_darc()->local_slab();
+    const std::size_t local_len =
+        target.state_darc()->map.local_len(world.my_pe());
+    for (std::size_t i = 0; i < local_len; ++i) {
+      if (slab[i] != kEmptySlot) mine.push_back(slab[i]);
+    }
+  }
+  return mine;
+}
+
+KernelResult randperm_array_darts(World& world, const RandpermParams& p) {
+  const std::uint64_t n_total = p.perm_per_pe * world.num_pes();
+  const auto target_len = static_cast<std::uint64_t>(
+      static_cast<double>(n_total) * p.target_factor);
+  auto target =
+      AtomicArray<std::uint64_t>::create(world, target_len,
+                                         Distribution::kBlock);
+  target.fill(kEmptySlot);
+  auto rng = pe_rng(p.seed, world.my_pe());
+
+  world.barrier();
+  const sim_nanos t0 = world.time_ns();
+  const std::uint64_t base = world.my_pe() * p.perm_per_pe;
+  std::vector<std::uint64_t> pending(p.perm_per_pe);
+  for (std::size_t i = 0; i < pending.size(); ++i) pending[i] = base + i;
+
+  while (!pending.empty()) {
+    std::vector<global_index> slots(pending.size());
+    for (auto& s : slots) s = rng.uniform(target_len);
+    // Paper: "throws darts with batch_compare_exchange".
+    auto results = world.block_on(
+        target.batch_compare_exchange(slots, kEmptySlot, pending));
+    std::vector<std::uint64_t> next;
+    for (std::size_t j = 0; j < results.size(); ++j) {
+      if (!results[j].success) next.push_back(pending[j]);
+    }
+    pending = std::move(next);
+  }
+  world.wait_all();
+  world.barrier();
+
+  // Paper: "moves results to the final permutation with the Collect
+  // iterator": filter local non-empty slots, scan, write into a fresh array.
+  auto mine = target.local_iter()
+                  .filter([](std::uint64_t v) { return v != kEmptySlot; })
+                  .collect_vec_local();
+  auto [offset, total] = exclusive_scan(world, mine.size());
+  auto perm = UnsafeArray<std::uint64_t>::create(world, n_total,
+                                                 Distribution::kBlock);
+  world.block_on(perm.put(offset, mine));
+  world.barrier();
+  const sim_nanos t1 = world.time_ns();
+
+  KernelResult r;
+  r.ops = p.perm_per_pe;
+  r.elapsed_ns = t1 - t0;
+  r.verified = total == n_total && verify_permutation(world, mine, n_total);
+  return r;
+}
+
+template <typename Am>
+KernelResult randperm_am(World& world, const RandpermParams& p) {
+  const std::uint64_t n_total = p.perm_per_pe * world.num_pes();
+  const auto target_len = static_cast<std::uint64_t>(
+      static_cast<double>(n_total) * p.target_factor);
+  auto target =
+      AtomicArray<std::uint64_t>::create(world, target_len,
+                                         Distribution::kBlock);
+  target.fill(kEmptySlot);
+  const std::uint64_t per_pe_cap = target.state_darc()->map.per_rank_capacity();
+
+  world.barrier();
+  const sim_nanos t0 = world.time_ns();
+  auto mine = am_dart_loop<Am>(world, target, p, target_len, per_pe_cap);
+  const sim_nanos t1 = world.time_ns();
+
+  KernelResult r;
+  r.ops = p.perm_per_pe;
+  r.elapsed_ns = t1 - t0;
+  r.verified = verify_permutation(world, mine, n_total);
+  return r;
+}
+
+KernelResult randperm_am_push(World& world, const RandpermParams& p) {
+  const std::uint64_t n_total = p.perm_per_pe * world.num_pes();
+  auto box = world.new_darc(PushBox{});
+  auto rng = pe_rng(p.seed, world.my_pe());
+
+  world.barrier();
+  const sim_nanos t0 = world.time_ns();
+  // Shuffle local darts (Fisher-Yates), then push each to a random PE.
+  const std::uint64_t base = world.my_pe() * p.perm_per_pe;
+  std::vector<std::uint64_t> darts(p.perm_per_pe);
+  for (std::size_t i = 0; i < darts.size(); ++i) darts[i] = base + i;
+  for (std::size_t i = darts.size(); i > 1; --i) {
+    std::swap(darts[i - 1], darts[rng.uniform(i)]);
+  }
+  std::vector<std::vector<std::uint64_t>> bufs(world.num_pes());
+  for (auto value : darts) {
+    const pe_id dst = rng.uniform(world.num_pes());
+    auto& buf = bufs[dst];
+    buf.push_back(value);
+    if (buf.size() >= p.agg_limit) {
+      world.engine().send_cb(dst, PushAm{box, std::move(buf)}, [](Unit) {});
+      buf = {};
+    }
+  }
+  for (pe_id dst = 0; dst < world.num_pes(); ++dst) {
+    if (!bufs[dst].empty()) {
+      world.engine().send_cb(dst, PushAm{box, std::move(bufs[dst])},
+                             [](Unit) {});
+    }
+  }
+  world.wait_all();
+  world.barrier();
+  const sim_nanos t1 = world.time_ns();
+
+  std::vector<std::uint64_t> mine;
+  {
+    std::lock_guard lock(box->mu);
+    mine = box->values;
+  }
+  KernelResult r;
+  r.ops = p.perm_per_pe;
+  r.elapsed_ns = t1 - t0;
+  r.verified = verify_permutation(world, mine, n_total);
+  return r;
+}
+
+KernelResult randperm_exstack(World& world, const RandpermParams& p) {
+  const std::uint64_t n_total = p.perm_per_pe * world.num_pes();
+  const auto target_len = static_cast<std::uint64_t>(
+      static_cast<double>(n_total) * p.target_factor);
+  const std::uint64_t per_pe_cap = ceil_div(target_len, world.num_pes());
+  std::vector<std::uint64_t> local_target(per_pe_cap, kEmptySlot);
+  auto rng = pe_rng(p.seed, world.my_pe());
+
+  // Item: kind 0 = throw {slot, value}; kind 1 = bounce {value}.
+  struct Msg {
+    std::uint64_t kind;
+    std::uint64_t slot;
+    std::uint64_t value;
+  };
+  baselines::Exstack<Msg> ex(world, p.agg_limit);
+
+  world.barrier();
+  const sim_nanos t0 = world.time_ns();
+  const std::uint64_t base = world.my_pe() * p.perm_per_pe;
+  std::vector<std::uint64_t> pending(p.perm_per_pe);
+  for (std::size_t i = 0; i < pending.size(); ++i) pending[i] = base + i;
+
+  bool more = true;
+  while (more) {
+    // Throw what we can.
+    while (!pending.empty()) {
+      const std::uint64_t value = pending.back();
+      const std::uint64_t slot = rng.uniform(target_len);
+      const pe_id dst = slot / per_pe_cap;
+      if (!ex.push(dst, Msg{0, slot % per_pe_cap, value})) break;
+      pending.pop_back();
+      world.lamellae().charge(3.0);
+    }
+    more = ex.proceed(pending.empty());
+    while (auto msg = ex.pop()) {
+      const auto [src, m] = *msg;
+      if (m.kind == 0) {
+        if (local_target[m.slot] == kEmptySlot) {
+          local_target[m.slot] = m.value;
+        } else if (!ex.push(src, Msg{1, 0, m.value})) {
+          // Bounce buffer full: hold it locally for the next round.
+          pending.push_back(m.value);  // we re-throw on the thrower's behalf
+        }
+      } else {
+        pending.push_back(m.value);
+      }
+    }
+  }
+  world.barrier();
+  const sim_nanos t1 = world.time_ns();
+
+  std::vector<std::uint64_t> mine;
+  for (auto v : local_target) {
+    if (v != kEmptySlot) mine.push_back(v);
+  }
+  KernelResult r;
+  r.ops = p.perm_per_pe;
+  r.elapsed_ns = t1 - t0;
+  r.verified = verify_permutation(world, mine, n_total);
+  return r;
+}
+
+}  // namespace
+
+const char* randperm_impl_name(RandpermImpl impl) {
+  switch (impl) {
+    case RandpermImpl::kArrayDarts:
+      return "Array Darts";
+    case RandpermImpl::kAmDart:
+      return "AM Dart";
+    case RandpermImpl::kAmDartOpt:
+      return "AM Dart Opt";
+    case RandpermImpl::kAmPush:
+      return "AM Push";
+    case RandpermImpl::kExstack:
+      return "Exstack";
+  }
+  return "?";
+}
+
+KernelResult randperm_kernel(World& world, RandpermImpl impl,
+                             const RandpermParams& p) {
+  switch (impl) {
+    case RandpermImpl::kArrayDarts:
+      return randperm_array_darts(world, p);
+    case RandpermImpl::kAmDart:
+      return randperm_am<ThrowAm>(world, p);
+    case RandpermImpl::kAmDartOpt:
+      return randperm_am<ThrowOptAm>(world, p);
+    case RandpermImpl::kAmPush:
+      return randperm_am_push(world, p);
+    case RandpermImpl::kExstack:
+      return randperm_exstack(world, p);
+  }
+  throw Error("unknown randperm impl");
+}
+
+}  // namespace lamellar::bale

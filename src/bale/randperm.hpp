@@ -1,0 +1,42 @@
+// The BALE Randperm kernel (paper Sec. IV-B3): build a distributed array
+// holding a random permutation of 0..N-1 with the "dart throwing" algorithm
+// (Gibbons/Matias/Ramachandran): darts (the values) are thrown at random
+// slots of a 2N target array; a dart sticks in an empty slot (compare-
+// exchange) and is rethrown otherwise; the permutation is the target read in
+// order, skipping empties.
+//
+// Variants (paper Fig. 5):
+//  * kArrayDarts — AtomicArray + batch_compare_exchange + collect;
+//  * kAmDart     — manual AM aggregation of darts and of throw results;
+//  * kAmDartOpt  — failed darts retry on the owner PE (less communication;
+//                  relaxes exact uniformity, as the paper notes);
+//  * kAmPush     — locally shuffled darts pushed to the end of a random
+//                  PE's segment (throws never fail; minimal communication);
+//  * kExstack    — the BALE bulk-synchronous baseline.
+#pragma once
+
+#include "bale/common.hpp"
+
+namespace lamellar::bale {
+
+enum class RandpermImpl {
+  kArrayDarts,
+  kAmDart,
+  kAmDartOpt,
+  kAmPush,
+  kExstack,
+};
+
+const char* randperm_impl_name(RandpermImpl impl);
+
+struct RandpermParams {
+  std::size_t perm_per_pe = 10'000;  ///< paper: 1M per core (scaled)
+  double target_factor = 2.0;       ///< paper: target 2x the permutation
+  std::size_t agg_limit = 10'000;
+  std::uint64_t seed = 44;
+};
+
+KernelResult randperm_kernel(World& world, RandpermImpl impl,
+                             const RandpermParams& params);
+
+}  // namespace lamellar::bale

@@ -1,0 +1,142 @@
+// Chapel-style automatic aggregation (paper Sec. II / IV-B).
+//
+// Chapel's compiler wraps remote assignments in aggregators.  Two are
+// modeled here after the Arkouda/Chapel CopyAggregator family the paper's
+// IndexGather discussion cites:
+//
+//  * DstAggregator<T>  — destination-buffered updates ("x[i] op= v"):
+//    buffers (index, value) pairs per destination locale and applies them
+//    remotely in bulk, like our Exstack2 path but with Chapel's per-locale
+//    buffer sizing.
+//  * SrcAggregator<T>  — the CopyAggregator specialization for simple
+//    assignment gathers ("dst[j] = src[i]"): buffers *indices* per source
+//    locale and resolves them with direct bulk RDMA GETs — no reply
+//    messages, which is why Chapel wins IndexGather at scale in Fig. 4.
+#pragma once
+
+#include <functional>
+
+#include "baselines/shmem_channel.hpp"
+
+namespace lamellar::baselines {
+
+template <typename T>
+class DstAggregator {
+  struct Update {
+    std::uint64_t index;
+    T value;
+  };
+
+ public:
+  using Apply = std::function<void(std::uint64_t local_index, T value)>;
+
+  DstAggregator(World& world, std::size_t buf_items, Apply apply)
+      : world_(world),
+        channel_(world, buf_items),
+        send_bufs_(world.num_pes()),
+        apply_(std::move(apply)) {}
+
+  void update(pe_id dst, std::uint64_t local_index, T value) {
+    auto& buf = send_bufs_[dst];
+    buf.push_back(Update{local_index, value});
+    if (buf.size() >= channel_.buf_items()) flush(dst);
+  }
+
+  void done() { done_called_ = true; }
+
+  bool proceed() {
+    drain();
+    if (done_called_) {
+      for (pe_id p = 0; p < send_bufs_.size(); ++p) {
+        if (!send_bufs_[p].empty()) flush(p);
+      }
+      channel_.announce_done();
+      drain();
+      return !channel_.drained();
+    }
+    return true;
+  }
+
+ private:
+  void flush(pe_id dst) {
+    auto& buf = send_bufs_[dst];
+    while (!buf.empty()) {
+      if (channel_.try_send(dst, buf)) {
+        buf.clear();
+        return;
+      }
+      drain();
+    }
+  }
+
+  void drain() {
+    while (auto msg = channel_.try_recv()) {
+      for (const auto& u : msg->second) apply_(u.index, u.value);
+    }
+  }
+
+  World& world_;
+  ChannelGroup<Update> channel_;
+  std::vector<std::vector<Update>> send_bufs_;
+  Apply apply_;
+  bool done_called_ = false;
+};
+
+/// Gather aggregation with direct RDMA: indices are buffered per source PE;
+/// a full buffer is resolved by bulk fabric GETs from the source's slab.
+/// `src_region_offset` is the symmetric arena offset of the table slab.
+template <typename T>
+class SrcAggregator {
+  struct Pending {
+    std::uint64_t src_local;   ///< element index within the source's slab
+    std::uint64_t dst_index;   ///< where the caller wants the value
+  };
+
+ public:
+  SrcAggregator(World& world, std::size_t buf_items,
+                std::size_t src_region_offset, std::span<T> out)
+      : world_(world),
+        buf_items_(buf_items),
+        region_offset_(src_region_offset),
+        out_(out),
+        pending_(world.num_pes()) {}
+
+  /// Request out[dst_index] = table[src_pe][src_local].
+  void gather(pe_id src_pe, std::uint64_t src_local,
+              std::uint64_t dst_index) {
+    auto& buf = pending_[src_pe];
+    buf.push_back(Pending{src_local, dst_index});
+    if (buf.size() >= buf_items_) flush(src_pe);
+  }
+
+  /// Resolve all outstanding requests (one-sided: no remote cooperation).
+  void flush_all() {
+    for (pe_id p = 0; p < pending_.size(); ++p) {
+      if (!pending_[p].empty()) flush(p);
+    }
+  }
+
+ private:
+  void flush(pe_id src_pe) {
+    auto& buf = pending_[src_pe];
+    // Chapel's CopyAggregator keeps the read pipeline full: element GETs
+    // are posted back-to-back, so each one costs the pipelined rate rather
+    // than a full round trip.
+    for (const auto& p : buf) {
+      T value{};
+      world_.lamellae().get_pipelined(
+          src_pe, region_offset_ + p.src_local * sizeof(T),
+          std::as_writable_bytes(std::span<T>(&value, 1)));
+      out_[p.dst_index] = value;
+    }
+    buf.clear();
+  }
+
+  World& world_;
+  std::size_t buf_items_;
+  std::size_t region_offset_;
+  std::span<T> out_;
+  std::vector<std::vector<Pending>> pending_;
+};
+
+}  // namespace lamellar::baselines

@@ -1,0 +1,138 @@
+// Exstack — the BALE suite's bulk-synchronous aggregation library
+// (paper Sec. II / IV-B), reimplemented over the lamellar fabric the way the
+// original sits on OpenSHMEM.
+//
+// Each PE owns, for every other PE, a fixed-capacity send buffer and a
+// symmetric receive slot.  The protocol "resembles Bulk Synchronous
+// Programming": PEs push items until some buffer fills, then everyone enters
+// a collective exchange (RDMA puts of whole buffers + barrier), processes
+// what arrived, and repeats.  `proceed(im_done)` returns false once every PE
+// has declared itself done and all buffers have drained.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "core/memregion/shared_region.hpp"
+#include "core/world/world.hpp"
+
+namespace lamellar::baselines {
+
+template <typename Item>
+class Exstack {
+  static_assert(std::is_trivially_copyable_v<Item>);
+
+ public:
+  /// Collective.  `buf_items`: per-destination buffer capacity (BALE uses
+  /// the same knob; the paper's experiments cap aggregation at 10,000).
+  Exstack(World& world, std::size_t buf_items)
+      : world_(world),
+        npes_(world.num_pes()),
+        cap_(buf_items),
+        send_bufs_(npes_),
+        // Receive matrix: npes slots of cap items each, plus one count per
+        // source, all in symmetric memory so exchanges are pure RDMA puts.
+        recv_items_(SharedMemoryRegion<Item>::create(world, npes_ * buf_items)),
+        recv_counts_(
+            SharedMemoryRegion<std::uint64_t>::create(world, npes_ + 3)) {
+    for (auto& b : send_bufs_) b.reserve(cap_);
+    auto counts = recv_counts_.unsafe_local_slice();
+    std::fill(counts.begin(), counts.end(), 0);
+    world.barrier();
+  }
+
+  /// Try to queue an item for `dst`.  Returns false when dst's buffer is
+  /// full — the caller must run proceed() (the BSP exchange) and retry.
+  bool push(pe_id dst, const Item& item) {
+    auto& buf = send_bufs_[dst];
+    if (buf.size() >= cap_) return false;
+    buf.push_back(item);
+    return true;
+  }
+
+  /// Collective exchange; `im_done` declares this PE will push no more.
+  /// Returns true while the computation must continue (items may still
+  /// arrive); false once all PEs are done and everything drained.
+  bool proceed(bool im_done) {
+    // Publish buffers: put each send buffer into our slot on the receiver.
+    for (pe_id dst = 0; dst < npes_; ++dst) {
+      auto& buf = send_bufs_[dst];
+      const std::uint64_t n = buf.size();
+      if (n > 0) {
+        recv_items_.unsafe_put(dst, world_.my_pe() * cap_,
+                               std::span<const Item>(buf.data(), n));
+      }
+      std::uint64_t cnt = n;
+      recv_counts_.unsafe_put(dst, world_.my_pe(),
+                              std::span<const std::uint64_t>(&cnt, 1));
+      buf.clear();
+    }
+    // Publish the done flag in the extra count slot (sum over PEs).
+    const std::uint64_t done = im_done ? 1 : 0;
+    for (pe_id dst = 0; dst < npes_; ++dst) {
+      if (done) {
+        world_.lamellae().atomic_fetch_add_u64(
+            dst,
+            recv_counts_.arena_offset() + npes_ * sizeof(std::uint64_t),
+            announced_done_ ? 0 : 1);
+      }
+    }
+    announced_done_ = announced_done_ || im_done;
+    world_.barrier();
+
+    // Harvest received items into the pop queue.
+    auto counts = recv_counts_.unsafe_local_slice();
+    auto items = recv_items_.unsafe_local_slice();
+    bool any = false;
+    for (pe_id src = 0; src < npes_; ++src) {
+      const std::uint64_t n = counts[src];
+      for (std::uint64_t j = 0; j < n; ++j) {
+        inbox_.emplace_back(src, items[src * cap_ + j]);
+      }
+      any = any || n > 0;
+      counts[src] = 0;
+    }
+    const bool all_done = counts[npes_] == npes_;
+    const bool local_continue = !(all_done && !any && inbox_.empty());
+
+    // The continue/stop decision must be *collective* (every PE must keep
+    // calling proceed in lockstep — it barriers).  Vote on a parity slot.
+    const std::size_t vote_slot = npes_ + 1 + (round_ % 2);
+    if (local_continue) {
+      for (pe_id dst = 0; dst < npes_; ++dst) {
+        world_.lamellae().atomic_fetch_add_u64(
+            dst, recv_counts_.arena_offset() + vote_slot * sizeof(std::uint64_t),
+            1);
+      }
+    }
+    world_.barrier();
+    const bool cont = counts[vote_slot] > 0;
+    counts[vote_slot] = 0;  // reused two rounds from now; safe to clear here
+    ++round_;
+    return cont;
+  }
+
+  /// Pop one received (source, item) pair.
+  std::optional<std::pair<pe_id, Item>> pop() {
+    if (inbox_.empty()) return std::nullopt;
+    auto v = inbox_.front();
+    inbox_.pop_front();
+    return v;
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return cap_; }
+
+ private:
+  World& world_;
+  std::size_t npes_;
+  std::size_t cap_;
+  std::vector<std::vector<Item>> send_bufs_;
+  SharedMemoryRegion<Item> recv_items_;
+  SharedMemoryRegion<std::uint64_t> recv_counts_;
+  std::deque<std::pair<pe_id, Item>> inbox_;
+  bool announced_done_ = false;
+  std::uint64_t round_ = 0;
+};
+
+}  // namespace lamellar::baselines

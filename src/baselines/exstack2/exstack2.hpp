@@ -1,0 +1,99 @@
+// Exstack2 — the asynchronous variant of Exstack (paper Sec. II): buffers
+// flush to the network as soon as they fill, receivers poll continuously,
+// and termination is detected with per-pair final counts instead of global
+// barriers per round.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <optional>
+
+#include "baselines/shmem_channel.hpp"
+
+namespace lamellar::baselines {
+
+template <typename Item>
+class Exstack2 {
+ public:
+  Exstack2(World& world, std::size_t buf_items)
+      : world_(world),
+        channel_(world, buf_items),
+        send_bufs_(world.num_pes()) {
+    for (auto& b : send_bufs_) b.reserve(buf_items);
+  }
+
+  /// Queue an item for `dst`, flushing the buffer when it fills.  Always
+  /// succeeds (flush loops drain our own inbox under backpressure).
+  void push(pe_id dst, const Item& item) {
+    auto& buf = send_bufs_[dst];
+    buf.push_back(item);
+    if (buf.size() >= channel_.buf_items()) flush(dst);
+  }
+
+  /// Non-collective progress: drain arrivals into the pop queue.  Call
+  /// `done()` once after the last push; proceed() returns false once all
+  /// PEs' announced traffic has fully arrived and been popped.
+  bool proceed() {
+    drain();
+    if (!done_called_) return true;
+    flush_all();
+    channel_.announce_done();
+    drain();
+    return !(channel_.drained() && inbox_.empty());
+  }
+
+  void done() { done_called_ = true; }
+
+  /// Drain arrivals without flushing (safe to call from another library's
+  /// backpressure loop).
+  void pump() { drain(); }
+
+  /// Invoked inside flush backpressure loops; wire it to pump() of any
+  /// sibling channel sharing the PEs to avoid cross-instance deadlock.
+  void set_progress_hook(std::function<void()> hook) {
+    hook_ = std::move(hook);
+  }
+
+  std::optional<std::pair<pe_id, Item>> pop() {
+    if (inbox_.empty()) return std::nullopt;
+    auto v = inbox_.front();
+    inbox_.pop_front();
+    return v;
+  }
+
+ private:
+  void flush(pe_id dst) {
+    auto& buf = send_bufs_[dst];
+    while (!buf.empty()) {
+      if (channel_.try_send(dst, buf)) {
+        buf.clear();
+        return;
+      }
+      drain();  // backpressure: free remote slots by consuming our own
+      if (hook_) hook_();
+    }
+  }
+
+  void flush_all() {
+    for (pe_id dst = 0; dst < send_bufs_.size(); ++dst) {
+      if (!send_bufs_[dst].empty()) flush(dst);
+    }
+  }
+
+  void drain() {
+    while (auto msg = channel_.try_recv()) {
+      for (const auto& item : msg->second) {
+        inbox_.emplace_back(msg->first, item);
+      }
+    }
+  }
+
+  World& world_;
+  ChannelGroup<Item> channel_;
+  std::vector<std::vector<Item>> send_bufs_;
+  std::deque<std::pair<pe_id, Item>> inbox_;
+  bool done_called_ = false;
+  std::function<void()> hook_;
+};
+
+}  // namespace lamellar::baselines

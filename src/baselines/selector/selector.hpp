@@ -1,0 +1,94 @@
+// Selectors — the HClib actor API for fine-grained asynchronous
+// bulk-synchronous PGAS programs (paper Sec. II, Paul et al. JoCS'23).
+//
+// A Selector owns a small set of mailboxes; `send(mb, pe, msg)` delivers a
+// fine-grained message to the selector instance on `pe`, where the mailbox's
+// process callback runs it.  The library hides aggregation and termination
+// detection behind the actor interface — here both are provided by the
+// ChannelGroup transport (per-destination buffers, final-count draining),
+// mirroring how HClib layers Selectors over Conveyors/OpenSHMEM.
+#pragma once
+
+#include <array>
+#include <functional>
+
+#include "baselines/shmem_channel.hpp"
+
+namespace lamellar::baselines {
+
+template <typename Msg, std::size_t kMailboxes = 2>
+class Selector {
+  struct Tagged {
+    std::uint32_t mailbox;
+    Msg msg;
+  };
+
+ public:
+  using Handler = std::function<void(Msg, pe_id src)>;
+
+  Selector(World& world, std::size_t buf_items)
+      : world_(world), channel_(world, buf_items), send_bufs_(world.num_pes()) {}
+
+  /// Install the process callback for one mailbox (before any send).
+  void on_message(std::size_t mailbox, Handler handler) {
+    handlers_.at(mailbox) = std::move(handler);
+  }
+
+  /// Send `msg` to mailbox `mailbox` of the selector on `pe`.
+  void send(std::size_t mailbox, pe_id pe, const Msg& msg) {
+    auto& buf = send_bufs_[pe];
+    buf.push_back(Tagged{static_cast<std::uint32_t>(mailbox), msg});
+    if (buf.size() >= channel_.buf_items()) flush(pe);
+  }
+
+  /// Declare that this PE will send no more messages.
+  void done() { done_called_ = true; }
+
+  /// Drive the actor: process arrivals; returns false once globally done.
+  bool proceed() {
+    drain();
+    if (done_called_) {
+      for (pe_id p = 0; p < send_bufs_.size(); ++p) {
+        if (!send_bufs_[p].empty()) flush(p);
+      }
+      channel_.announce_done();
+      drain();
+      return !channel_.drained();
+    }
+    return true;
+  }
+
+  /// Convenience: run to completion (call after done()).
+  void run_to_completion() {
+    while (proceed()) {
+    }
+  }
+
+ private:
+  void flush(pe_id dst) {
+    auto& buf = send_bufs_[dst];
+    while (!buf.empty()) {
+      if (channel_.try_send(dst, buf)) {
+        buf.clear();
+        return;
+      }
+      drain();
+    }
+  }
+
+  void drain() {
+    while (auto msg = channel_.try_recv()) {
+      for (const auto& t : msg->second) {
+        handlers_[t.mailbox](t.msg, msg->first);
+      }
+    }
+  }
+
+  World& world_;
+  ChannelGroup<Tagged> channel_;
+  std::vector<std::vector<Tagged>> send_bufs_;
+  std::array<Handler, kMailboxes> handlers_;
+  bool done_called_ = false;
+};
+
+}  // namespace lamellar::baselines

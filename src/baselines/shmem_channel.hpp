@@ -1,0 +1,172 @@
+// SPSC buffer rings over symmetric memory — the transport the asynchronous
+// BALE libraries (Exstack2, Conveyors, Selectors) sit on, playing the role
+// OpenSHMEM puts/atomics play for the originals.
+//
+// For every directed pair (src -> dst) the destination hosts a ring of
+// fixed-size slots plus head/tail words in its symmetric region.  The
+// producer RDMA-puts a buffer of items into the next slot and releases it
+// with a remote atomic store of the tail; the consumer polls its local tail,
+// drains slots, and advances the head (which producers read remotely to
+// detect free space).  Termination detection uses per-pair final-count
+// words: a producer that is done publishes exactly how many items it sent;
+// the consumer is done once every producer's final count matches what it
+// received.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/memregion/shared_region.hpp"
+#include "core/world/world.hpp"
+
+namespace lamellar::baselines {
+
+inline constexpr std::uint64_t kNoFinalCount = ~0ULL;
+
+template <typename Item>
+class ChannelGroup {
+  static_assert(std::is_trivially_copyable_v<Item>);
+  static_assert(alignof(Item) <= 8);
+
+ public:
+  /// Collective.  `buf_items` items per slot, `slots` slots per directed
+  /// pair.
+  ChannelGroup(World& world, std::size_t buf_items, std::size_t slots = 4)
+      : world_(world),
+        npes_(world.num_pes()),
+        buf_items_(buf_items),
+        slots_(slots),
+        slot_bytes_(align_up(8 + buf_items * sizeof(Item), 8)),
+        lane_bytes_(16 + 8 + slots_ * slot_bytes_),
+        region_(SharedMemoryRegion<std::byte>::create(world,
+                                                      npes_ * lane_bytes_)),
+        send_tail_(npes_, 0),
+        recv_head_(npes_, 0),
+        received_(npes_, 0),
+        sent_(npes_, 0) {
+    auto local = region_.unsafe_local_slice();
+    std::fill(local.begin(), local.end(), std::byte{0});
+    // Final-count words start as "unknown".
+    for (pe_id src = 0; src < npes_; ++src) {
+      store_local_u64(final_off(src), kNoFinalCount);
+    }
+    world.barrier();
+  }
+
+  /// Try to ship a buffer of at most buf_items items to `dst`.  Returns
+  /// false when the ring is full (caller should drain its own inbox).
+  bool try_send(pe_id dst, std::span<const Item> items) {
+    if (items.size() > buf_items_) throw Error("ChannelGroup: buffer too big");
+    auto& lam = world_.lamellae();
+    const std::uint64_t tail = send_tail_[dst];
+    // Free space check: read the consumer-advanced head remotely.
+    const std::uint64_t head =
+        lam.atomic_load_u64(dst, region_.arena_offset() + head_off(my_pe()));
+    if (tail - head >= slots_) return false;
+    const std::size_t slot = tail % slots_;
+    const std::size_t base = slot_off(my_pe(), slot);
+    const std::uint64_t n = items.size();
+    // Payload first, then count, then the releasing tail store.
+    region_.unsafe_put(dst, base + 8, std::as_bytes(items).size_bytes() == 0
+                                          ? std::span<const std::byte>{}
+                                          : std::as_bytes(items));
+    region_.unsafe_put(dst, base,
+                       std::span<const std::byte>(
+                           reinterpret_cast<const std::byte*>(&n), 8));
+    lam.atomic_store_u64(dst, region_.arena_offset() + tail_off(my_pe()),
+                         tail + 1);
+    send_tail_[dst] = tail + 1;
+    sent_[dst] += n;
+    return true;
+  }
+
+  /// Drain one pending buffer, if any.  Returns the source PE and items.
+  std::optional<std::pair<pe_id, std::vector<Item>>> try_recv() {
+    auto& lam = world_.lamellae();
+    auto local = region_.unsafe_local_slice();
+    for (std::size_t k = 0; k < npes_; ++k) {
+      const pe_id src = (recv_scan_ + k) % npes_;
+      const std::uint64_t tail =
+          lam.atomic_load_u64(my_pe(), region_.arena_offset() + tail_off(src));
+      const std::uint64_t head = recv_head_[src];
+      if (tail == head) continue;
+      const std::size_t base = slot_off(src, head % slots_);
+      std::uint64_t n = 0;
+      std::memcpy(&n, local.data() + base, 8);
+      std::vector<Item> items(n);
+      std::memcpy(items.data(), local.data() + base + 8, n * sizeof(Item));
+      recv_head_[src] = head + 1;
+      // Publish the new head so the producer sees the freed slot.
+      lam.atomic_store_u64(my_pe(), region_.arena_offset() + head_off(src),
+                           head + 1);
+      received_[src] += n;
+      recv_scan_ = src + 1;
+      return std::make_pair(src, std::move(items));
+    }
+    return std::nullopt;
+  }
+
+  /// Publish final per-destination send counts (call once, after flushing
+  /// everything this PE will ever send on this channel).
+  void announce_done() {
+    if (announced_) return;
+    announced_ = true;
+    for (pe_id dst = 0; dst < npes_; ++dst) {
+      world_.lamellae().atomic_store_u64(
+          dst, region_.arena_offset() + final_off(my_pe()), sent_[dst]);
+    }
+  }
+
+  /// True when every producer announced and all announced items arrived.
+  [[nodiscard]] bool drained() {
+    auto& lam = world_.lamellae();
+    for (pe_id src = 0; src < npes_; ++src) {
+      const std::uint64_t fin =
+          lam.atomic_load_u64(my_pe(), region_.arena_offset() + final_off(src));
+      if (fin == kNoFinalCount || received_[src] < fin) return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] std::size_t buf_items() const { return buf_items_; }
+  [[nodiscard]] pe_id my_pe() const { return world_.my_pe(); }
+  [[nodiscard]] std::size_t num_pes() const { return npes_; }
+  World& world() { return world_; }
+
+ private:
+  // Per-lane layout inside the local region, one lane per source PE:
+  //   [tail u64][head u64][final u64][slots...]
+  [[nodiscard]] std::size_t lane_off(pe_id src) const {
+    return src * lane_bytes_;
+  }
+  [[nodiscard]] std::size_t tail_off(pe_id src) const { return lane_off(src); }
+  [[nodiscard]] std::size_t head_off(pe_id src) const {
+    return lane_off(src) + 8;
+  }
+  [[nodiscard]] std::size_t final_off(pe_id src) const {
+    return lane_off(src) + 16;
+  }
+  [[nodiscard]] std::size_t slot_off(pe_id src, std::size_t slot) const {
+    return lane_off(src) + 24 + slot * slot_bytes_;
+  }
+
+  void store_local_u64(std::size_t off, std::uint64_t v) {
+    std::memcpy(region_.unsafe_local_slice().data() + off, &v, 8);
+  }
+
+  World& world_;
+  std::size_t npes_;
+  std::size_t buf_items_;
+  std::size_t slots_;
+  std::size_t slot_bytes_;
+  std::size_t lane_bytes_;
+  SharedMemoryRegion<std::byte> region_;
+  std::vector<std::uint64_t> send_tail_;
+  std::vector<std::uint64_t> recv_head_;
+  std::vector<std::uint64_t> received_;
+  std::vector<std::uint64_t> sent_;
+  std::size_t recv_scan_ = 0;
+  bool announced_ = false;
+};
+
+}  // namespace lamellar::baselines

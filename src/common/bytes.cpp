@@ -1,0 +1,3 @@
+// ByteBuffer is header-only; this translation unit exists so the target has a
+// stable home for future out-of-line helpers.
+#include "common/bytes.hpp"

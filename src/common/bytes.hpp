@@ -1,0 +1,98 @@
+// A growable byte buffer with explicit read/write cursors.
+//
+// ByteBuffer is the unit of exchange between the serialization layer, the
+// active-message aggregation buffers, and the lamellae command queues.  It is
+// deliberately simple: contiguous storage, append-only writes, sequential
+// reads.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace lamellar {
+
+class ByteBuffer {
+ public:
+  ByteBuffer() = default;
+  explicit ByteBuffer(std::size_t reserve) { data_.reserve(reserve); }
+  explicit ByteBuffer(std::vector<std::byte> bytes) : data_(std::move(bytes)) {}
+
+  /// Append raw bytes to the end of the buffer.
+  void write(const void* src, std::size_t n) {
+    const auto* p = static_cast<const std::byte*>(src);
+    data_.insert(data_.end(), p, p + n);
+  }
+
+  /// Append a trivially-copyable value.
+  template <typename T>
+  void write_pod(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    write(&v, sizeof(T));
+  }
+
+  /// Copy `n` bytes from the read cursor into `dst`, advancing the cursor.
+  void read(void* dst, std::size_t n) {
+    if (read_pos_ + n > data_.size()) {
+      throw DeserializeError("ByteBuffer::read past end of buffer");
+    }
+    std::memcpy(dst, data_.data() + read_pos_, n);
+    read_pos_ += n;
+  }
+
+  template <typename T>
+  T read_pod() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T v;
+    read(&v, sizeof(T));
+    return v;
+  }
+
+  /// A view of `n` bytes at the read cursor, advancing the cursor.  The view
+  /// is invalidated by any subsequent write.
+  std::span<const std::byte> read_view(std::size_t n) {
+    if (read_pos_ + n > data_.size()) {
+      throw DeserializeError("ByteBuffer::read_view past end of buffer");
+    }
+    std::span<const std::byte> v{data_.data() + read_pos_, n};
+    read_pos_ += n;
+    return v;
+  }
+
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+  [[nodiscard]] std::size_t remaining() const {
+    return data_.size() - read_pos_;
+  }
+  [[nodiscard]] std::size_t read_pos() const { return read_pos_; }
+  void seek(std::size_t pos) {
+    if (pos > data_.size()) throw DeserializeError("ByteBuffer::seek past end");
+    read_pos_ = pos;
+  }
+
+  [[nodiscard]] const std::byte* data() const { return data_.data(); }
+  [[nodiscard]] std::byte* data() { return data_.data(); }
+  [[nodiscard]] std::span<const std::byte> as_span() const { return data_; }
+
+  void clear() {
+    data_.clear();
+    read_pos_ = 0;
+  }
+
+  void reserve(std::size_t n) { data_.reserve(n); }
+
+  std::vector<std::byte> take() {
+    read_pos_ = 0;
+    return std::move(data_);
+  }
+
+ private:
+  std::vector<std::byte> data_;
+  std::size_t read_pos_ = 0;
+};
+
+}  // namespace lamellar

@@ -1,0 +1,67 @@
+#include "common/config.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace lamellar {
+
+namespace {
+
+// Parse a size with optional K/M/G suffix (binary multiples).
+std::size_t parse_size(const std::string& s) {
+  std::size_t pos = 0;
+  unsigned long long v = std::stoull(s, &pos);
+  std::size_t mult = 1;
+  if (pos < s.size()) {
+    switch (s[pos]) {
+      case 'k':
+      case 'K':
+        mult = 1024;
+        break;
+      case 'm':
+      case 'M':
+        mult = 1024 * 1024;
+        break;
+      case 'g':
+      case 'G':
+        mult = 1024ULL * 1024 * 1024;
+        break;
+      default:
+        throw std::invalid_argument("bad size suffix: " + s);
+    }
+  }
+  return static_cast<std::size_t>(v) * mult;
+}
+
+}  // namespace
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return parse_size(v);
+}
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::stoull(v);
+}
+
+RuntimeConfig RuntimeConfig::from_env() {
+  RuntimeConfig cfg;
+  cfg.threads_per_pe = env_size("LAMELLAR_THREADS", cfg.threads_per_pe);
+  cfg.agg_threshold_bytes =
+      env_size("LAMELLAR_AGG_THRESHOLD", cfg.agg_threshold_bytes);
+  cfg.batch_op_limit = env_size("LAMELLAR_BATCH_OP_LIMIT", cfg.batch_op_limit);
+  cfg.symmetric_heap_bytes =
+      env_size("LAMELLAR_SYM_HEAP", cfg.symmetric_heap_bytes);
+  cfg.onesided_heap_bytes =
+      env_size("LAMELLAR_ONESIDED_HEAP", cfg.onesided_heap_bytes);
+  cfg.cmd_queue_depth = env_size("LAMELLAR_CMDQ_DEPTH", cfg.cmd_queue_depth);
+  cfg.seed = env_u64("LAMELLAR_SEED", cfg.seed);
+  cfg.enable_virtual_time =
+      env_u64("LAMELLAR_VIRTUAL_TIME", cfg.enable_virtual_time ? 1 : 0) != 0;
+  return cfg;
+}
+
+}  // namespace lamellar

@@ -1,0 +1,50 @@
+// Runtime configuration, mirroring the environment-variable knobs the paper's
+// runtime exposes (aggregation threshold, batch-op limit, heap sizes, worker
+// threads).  Values are read once from the environment with documented
+// defaults; every knob can also be set programmatically on WorldBuilder.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace lamellar {
+
+struct RuntimeConfig {
+  /// Worker threads per PE (paper: best results with 4 threads per PE, one
+  /// PE per NUMA node).  Default is small because tests run many PEs within
+  /// one process.
+  std::size_t threads_per_pe = 1;
+
+  /// Aggregation threshold in bytes: AMs smaller than this are batched into
+  /// shared buffers before transfer (paper Sec. IV-A: 100 KB default, with
+  /// 512 KB - 1 MB noted as better on their fabric).
+  std::size_t agg_threshold_bytes = 100 * 1024;
+
+  /// Maximum operations per array batch sub-message (paper: 10,000).
+  std::size_t batch_op_limit = 10'000;
+
+  /// Symmetric heap size per PE in bytes.
+  std::size_t symmetric_heap_bytes = std::size_t{64} * 1024 * 1024;
+
+  /// One-sided heap size per PE in bytes.
+  std::size_t onesided_heap_bytes = std::size_t{32} * 1024 * 1024;
+
+  /// Command-queue capacity (messages in flight per PE pair direction).
+  std::size_t cmd_queue_depth = 1024;
+
+  /// Seed for all deterministic randomness.
+  std::uint64_t seed = 42;
+
+  /// Whether fabric operations charge virtual time to per-PE clocks.
+  bool enable_virtual_time = true;
+
+  /// Load overrides from LAMELLAR_* environment variables.
+  static RuntimeConfig from_env();
+};
+
+/// Parse helpers (exposed for tests).
+std::size_t env_size(const char* name, std::size_t fallback);
+std::uint64_t env_u64(const char* name, std::uint64_t fallback);
+
+}  // namespace lamellar

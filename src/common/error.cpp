@@ -1,0 +1,10 @@
+#include "common/error.hpp"
+
+namespace lamellar {
+
+void throw_bounds(const char* what, std::size_t index, std::size_t len) {
+  throw BoundsError(std::string(what) + ": index " + std::to_string(index) +
+                    " out of bounds for length " + std::to_string(len));
+}
+
+}  // namespace lamellar

@@ -1,0 +1,57 @@
+// A simple mutex-guarded multi-producer multi-consumer queue.
+//
+// Used for scheduler injection queues and command-queue staging.  A lock-free
+// design is unnecessary here: contention is bounded by PE/thread counts and
+// the critical sections are a few pointer moves.
+#pragma once
+
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace lamellar {
+
+template <typename T>
+class MpmcQueue {
+ public:
+  void push(T v) {
+    std::lock_guard lock(mu_);
+    items_.push_back(std::move(v));
+  }
+
+  std::optional<T> try_pop() {
+    std::lock_guard lock(mu_);
+    if (items_.empty()) return std::nullopt;
+    T v = std::move(items_.front());
+    items_.pop_front();
+    return v;
+  }
+
+  /// Drain everything currently queued into `out` (appended).  Returns the
+  /// number of items drained.
+  template <typename Container>
+  std::size_t drain_into(Container& out) {
+    std::lock_guard lock(mu_);
+    const std::size_t n = items_.size();
+    for (auto& v : items_) out.push_back(std::move(v));
+    items_.clear();
+    return n;
+  }
+
+  [[nodiscard]] bool empty() const {
+    std::lock_guard lock(mu_);
+    return items_.empty();
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lock(mu_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<T> items_;
+};
+
+}  // namespace lamellar

@@ -1,0 +1,212 @@
+// Binary serialization used by the active-message layer.
+//
+// This is the C++ stand-in for the serde/bincode machinery the paper's Rust
+// runtime uses.  The format is deterministic little-endian (we assume a
+// little-endian host, as the paper's cluster is x86): scalars are raw bytes,
+// containers are a u64 length followed by elements, user types implement
+//
+//   template <class Archive> void serialize(Archive& ar) { ar(a, b, c); }
+//
+// which is invoked symmetrically for writing and reading — the analogue of
+// the `#[AmData]` derive in the paper (Sec. III-C).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <tuple>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace lamellar {
+
+class Serializer;
+class Deserializer;
+
+namespace detail {
+
+template <typename T, typename Ar>
+concept HasSerializeMember = requires(T& t, Ar& ar) { t.serialize(ar); };
+
+template <typename T>
+struct is_std_vector : std::false_type {};
+template <typename T, typename A>
+struct is_std_vector<std::vector<T, A>> : std::true_type {};
+
+template <typename T>
+struct is_std_array : std::false_type {};
+template <typename T, std::size_t N>
+struct is_std_array<std::array<T, N>> : std::true_type {};
+
+template <typename T>
+struct is_std_pair : std::false_type {};
+template <typename A, typename B>
+struct is_std_pair<std::pair<A, B>> : std::true_type {};
+
+template <typename T>
+struct is_std_tuple : std::false_type {};
+template <typename... Ts>
+struct is_std_tuple<std::tuple<Ts...>> : std::true_type {};
+
+template <typename T>
+struct is_std_optional : std::false_type {};
+template <typename T>
+struct is_std_optional<std::optional<T>> : std::true_type {};
+
+}  // namespace detail
+
+/// Writes values into a ByteBuffer.
+class Serializer {
+ public:
+  explicit Serializer(ByteBuffer& buf) : buf_(buf) {}
+
+  static constexpr bool is_writing = true;
+
+  template <typename... Ts>
+  void operator()(const Ts&... vs) {
+    (put(vs), ...);
+  }
+
+  template <typename T>
+  void put(const T& v) {
+    if constexpr (std::is_arithmetic_v<T> || std::is_enum_v<T>) {
+      buf_.write_pod(v);
+    } else if constexpr (std::is_same_v<T, std::string>) {
+      put_len(v.size());
+      buf_.write(v.data(), v.size());
+    } else if constexpr (detail::is_std_vector<T>::value) {
+      using E = typename T::value_type;
+      put_len(v.size());
+      if constexpr (std::is_trivially_copyable_v<E>) {
+        buf_.write(v.data(), v.size() * sizeof(E));
+      } else {
+        for (const auto& e : v) put(e);
+      }
+    } else if constexpr (detail::is_std_array<T>::value) {
+      for (const auto& e : v) put(e);
+    } else if constexpr (detail::is_std_pair<T>::value) {
+      put(v.first);
+      put(v.second);
+    } else if constexpr (detail::is_std_tuple<T>::value) {
+      std::apply([this](const auto&... es) { (put(es), ...); }, v);
+    } else if constexpr (detail::is_std_optional<T>::value) {
+      put(static_cast<std::uint8_t>(v.has_value()));
+      if (v.has_value()) put(*v);
+    } else if constexpr (detail::HasSerializeMember<T, Serializer>) {
+      // serialize() is symmetric; writing never mutates, but the member is
+      // declared non-const so one definition serves both directions.
+      const_cast<T&>(v).serialize(*this);
+    } else {
+      static_assert(detail::HasSerializeMember<T, Serializer>,
+                    "type is not serializable: add a serialize(Archive&) "
+                    "member or use a supported container/scalar");
+    }
+  }
+
+  ByteBuffer& buffer() { return buf_; }
+
+ private:
+  void put_len(std::size_t n) { buf_.write_pod(static_cast<std::uint64_t>(n)); }
+  ByteBuffer& buf_;
+};
+
+/// Reads values from a ByteBuffer in the order they were written.
+class Deserializer {
+ public:
+  explicit Deserializer(ByteBuffer& buf) : buf_(buf) {}
+
+  static constexpr bool is_writing = false;
+
+  template <typename... Ts>
+  void operator()(Ts&... vs) {
+    (get(vs), ...);
+  }
+
+  template <typename T>
+  void get(T& v) {
+    if constexpr (std::is_arithmetic_v<T> || std::is_enum_v<T>) {
+      v = buf_.read_pod<T>();
+    } else if constexpr (std::is_same_v<T, std::string>) {
+      const std::size_t n = get_len();
+      v.resize(n);
+      buf_.read(v.data(), n);
+    } else if constexpr (detail::is_std_vector<T>::value) {
+      using E = typename T::value_type;
+      const std::size_t n = get_len();
+      v.resize(n);
+      if constexpr (std::is_trivially_copyable_v<E>) {
+        buf_.read(v.data(), n * sizeof(E));
+      } else {
+        for (auto& e : v) get(e);
+      }
+    } else if constexpr (detail::is_std_array<T>::value) {
+      for (auto& e : v) get(e);
+    } else if constexpr (detail::is_std_pair<T>::value) {
+      get(v.first);
+      get(v.second);
+    } else if constexpr (detail::is_std_tuple<T>::value) {
+      std::apply([this](auto&... es) { (get(es), ...); }, v);
+    } else if constexpr (detail::is_std_optional<T>::value) {
+      std::uint8_t has = 0;
+      get(has);
+      if (has) {
+        typename T::value_type inner{};
+        get(inner);
+        v = std::move(inner);
+      } else {
+        v.reset();
+      }
+    } else if constexpr (detail::HasSerializeMember<T, Deserializer>) {
+      v.serialize(*this);
+    } else {
+      static_assert(detail::HasSerializeMember<T, Deserializer>,
+                    "type is not deserializable");
+    }
+  }
+
+  template <typename T>
+  T take() {
+    T v{};
+    get(v);
+    return v;
+  }
+
+  ByteBuffer& buffer() { return buf_; }
+
+ private:
+  std::size_t get_len() {
+    return static_cast<std::size_t>(buf_.read_pod<std::uint64_t>());
+  }
+  ByteBuffer& buf_;
+};
+
+/// Serialize a single value into a fresh buffer.
+template <typename T>
+ByteBuffer serialize_to_buffer(const T& v) {
+  ByteBuffer buf;
+  Serializer ser(buf);
+  ser.put(v);
+  return buf;
+}
+
+/// Deserialize a single value that fills the whole buffer.
+template <typename T>
+T deserialize_from_buffer(ByteBuffer& buf) {
+  Deserializer de(buf);
+  return de.take<T>();
+}
+
+/// True when T can round-trip through the archives (best-effort check).
+template <typename T>
+concept Serializable =
+    std::is_arithmetic_v<T> || std::is_enum_v<T> ||
+    detail::HasSerializeMember<T, Serializer> ||
+    std::is_same_v<T, std::string> || detail::is_std_vector<T>::value ||
+    detail::is_std_array<T>::value || detail::is_std_pair<T>::value ||
+    detail::is_std_tuple<T>::value || detail::is_std_optional<T>::value;
+
+}  // namespace lamellar

@@ -1,0 +1,41 @@
+// Basic shared type aliases used across the lamellar runtime.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace lamellar {
+
+/// Identifier of a processing element (PE) within a world or team.
+using pe_id = std::size_t;
+
+/// A global element index into a distributed array.
+using global_index = std::size_t;
+
+/// Virtual-time nanoseconds used by the fabric performance model.
+using sim_nanos = std::uint64_t;
+
+/// Identifier of a registered active-message handler.
+using am_type_id = std::uint32_t;
+
+/// Identifier of an outstanding request awaiting a reply.
+using request_id = std::uint64_t;
+
+/// Identifier of a distributed object (Darc) within a world.
+using darc_id = std::uint64_t;
+
+inline constexpr std::size_t kCacheLine = 64;
+
+/// Integer ceiling division; `b` must be nonzero.
+constexpr std::size_t ceil_div(std::size_t a, std::size_t b) {
+  return (a + b - 1) / b;
+}
+
+/// Round `v` up to a multiple of `align` (power of two).
+constexpr std::size_t align_up(std::size_t v, std::size_t align) {
+  return (v + align - 1) & ~(align - 1);
+}
+
+constexpr bool is_pow2(std::size_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+}  // namespace lamellar

@@ -1,0 +1,121 @@
+// A move-only type-erased callable, used for runtime tasks.
+//
+// std::function requires copyability, which forbids capturing move-only
+// state (promises, buffers).  UniqueFunction is the minimal move-only
+// equivalent with small-buffer optimization.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace lamellar {
+
+template <typename Sig>
+class UniqueFunction;
+
+template <typename R, typename... Args>
+class UniqueFunction<R(Args...)> {
+  static constexpr std::size_t kSboSize = 48;
+  static constexpr std::size_t kSboAlign = alignof(std::max_align_t);
+
+  struct VTable {
+    R (*invoke)(void*, Args&&...);
+    void (*move_to)(void*, void*);  // move-construct dst from src, destroy src
+    void (*destroy)(void*);
+  };
+
+  template <typename F>
+  static constexpr bool fits_sbo =
+      sizeof(F) <= kSboSize && alignof(F) <= kSboAlign &&
+      std::is_nothrow_move_constructible_v<F>;
+
+  template <typename F>
+  struct InlineOps {
+    static R invoke(void* p, Args&&... args) {
+      return (*static_cast<F*>(p))(std::forward<Args>(args)...);
+    }
+    static void move_to(void* dst, void* src) {
+      ::new (dst) F(std::move(*static_cast<F*>(src)));
+      static_cast<F*>(src)->~F();
+    }
+    static void destroy(void* p) { static_cast<F*>(p)->~F(); }
+    static constexpr VTable vtable{&invoke, &move_to, &destroy};
+  };
+
+  template <typename F>
+  struct HeapOps {
+    static R invoke(void* p, Args&&... args) {
+      return (**static_cast<F**>(p))(std::forward<Args>(args)...);
+    }
+    static void move_to(void* dst, void* src) {
+      *static_cast<F**>(dst) = *static_cast<F**>(src);
+      *static_cast<F**>(src) = nullptr;
+    }
+    static void destroy(void* p) { delete *static_cast<F**>(p); }
+    static constexpr VTable vtable{&invoke, &move_to, &destroy};
+  };
+
+ public:
+  UniqueFunction() = default;
+
+  template <typename F>
+    requires(!std::is_same_v<std::decay_t<F>, UniqueFunction> &&
+             std::is_invocable_r_v<R, std::decay_t<F>&, Args...>)
+  UniqueFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    using D = std::decay_t<F>;
+    if constexpr (fits_sbo<D>) {
+      ::new (storage()) D(std::forward<F>(f));
+      vtable_ = &InlineOps<D>::vtable;
+    } else {
+      *static_cast<D**>(storage()) = new D(std::forward<F>(f));
+      vtable_ = &HeapOps<D>::vtable;
+    }
+  }
+
+  UniqueFunction(UniqueFunction&& other) noexcept { move_from(other); }
+
+  UniqueFunction& operator=(UniqueFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  UniqueFunction(const UniqueFunction&) = delete;
+  UniqueFunction& operator=(const UniqueFunction&) = delete;
+
+  ~UniqueFunction() { reset(); }
+
+  R operator()(Args... args) {
+    return vtable_->invoke(storage(), std::forward<Args>(args)...);
+  }
+
+  explicit operator bool() const { return vtable_ != nullptr; }
+
+  void reset() {
+    if (vtable_ != nullptr) {
+      vtable_->destroy(storage());
+      vtable_ = nullptr;
+    }
+  }
+
+ private:
+  void move_from(UniqueFunction& other) noexcept {
+    vtable_ = other.vtable_;
+    if (vtable_ != nullptr) {
+      vtable_->move_to(storage(), other.storage());
+      other.vtable_ = nullptr;
+    }
+  }
+
+  void* storage() { return &storage_; }
+
+  alignas(kSboAlign) std::byte storage_[kSboSize];
+  const VTable* vtable_ = nullptr;
+};
+
+}  // namespace lamellar

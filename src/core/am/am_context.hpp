@@ -1,0 +1,67 @@
+// Execution context passed to every active message, plus the thread-local
+// world context used while (de)serializing runtime-aware types (Darcs,
+// memory-region handles) — the C++ analogue of the serde context the Rust
+// runtime threads through its proc-macro generated code.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace lamellar {
+
+class World;
+
+/// Context available inside ActiveMessage::exec — the analogue of the
+/// lamellar::current_pe / lamellar::world accessors in Listing 1.
+class AmContext {
+ public:
+  AmContext(World& world, pe_id src_pe) : world_(world), src_pe_(src_pe) {}
+
+  /// The world this AM executes in; use it to launch nested AMs.
+  [[nodiscard]] World& world() const { return world_; }
+
+  /// The PE on which this AM is currently executing.
+  [[nodiscard]] pe_id current_pe() const;
+
+  [[nodiscard]] std::size_t num_pes() const;
+
+  /// The PE that launched this AM.
+  [[nodiscard]] pe_id src_pe() const { return src_pe_; }
+
+ private:
+  World& world_;
+  pe_id src_pe_;
+};
+
+/// The world bound to the current thread during AM (de)serialization and
+/// execution; null outside runtime contexts.
+World* current_world();
+
+/// RAII binder for the thread-local world context.
+class ScopedWorld {
+ public:
+  explicit ScopedWorld(World* w);
+  ~ScopedWorld();
+  ScopedWorld(const ScopedWorld&) = delete;
+  ScopedWorld& operator=(const ScopedWorld&) = delete;
+
+ private:
+  World* prev_;
+};
+
+/// The PE that sent the message currently being deserialized on this thread
+/// (used by Darc / region handles to ack reference transfers).
+pe_id current_am_src();
+
+/// RAII binder for the thread-local message-source context.
+class ScopedAmSrc {
+ public:
+  explicit ScopedAmSrc(pe_id src);
+  ~ScopedAmSrc();
+  ScopedAmSrc(const ScopedAmSrc&) = delete;
+  ScopedAmSrc& operator=(const ScopedAmSrc&) = delete;
+
+ private:
+  pe_id prev_;
+};
+
+}  // namespace lamellar

@@ -1,0 +1,122 @@
+#include "core/am/am_engine.hpp"
+
+#include "common/error.hpp"
+
+namespace lamellar {
+
+namespace {
+thread_local World* tl_current_world = nullptr;
+thread_local pe_id tl_am_src = 0;
+}  // namespace
+
+World* current_world() { return tl_current_world; }
+
+ScopedWorld::ScopedWorld(World* w) : prev_(tl_current_world) {
+  tl_current_world = w;
+}
+
+ScopedWorld::~ScopedWorld() { tl_current_world = prev_; }
+
+pe_id current_am_src() { return tl_am_src; }
+
+ScopedAmSrc::ScopedAmSrc(pe_id src) : prev_(tl_am_src) { tl_am_src = src; }
+
+ScopedAmSrc::~ScopedAmSrc() { tl_am_src = prev_; }
+
+AmEngine::AmEngine(Lamellae& lamellae, ThreadPool& pool,
+                   const RuntimeConfig& cfg)
+    : lamellae_(lamellae),
+      pool_(pool),
+      cfg_(cfg),
+      outgoing_(lamellae, cfg.agg_threshold_bytes) {}
+
+void AmEngine::register_completer(request_id rid, Completer completer) {
+  std::lock_guard lock(pending_mu_);
+  pending_.emplace(rid, std::move(completer));
+}
+
+void AmEngine::charge_serialize(std::size_t bytes) {
+  lamellae_.charge(lamellae_.params().serialize_ns(bytes));
+}
+
+void AmEngine::patch_payload_len(ByteBuffer& record) {
+  const std::uint64_t payload_len = record.size() - kRecordHeaderBytes;
+  std::memcpy(record.data() + kRecordHeaderBytes - sizeof(std::uint64_t),
+              &payload_len, sizeof(std::uint64_t));
+}
+
+void AmEngine::enqueue_record(pe_id dst, ByteBuffer record) {
+  const auto progress = [this] { poll_inbox(); };
+  if (record.size() >= cfg_.agg_threshold_bytes) {
+    outgoing_.send_now(dst, std::move(record), progress);
+  } else {
+    outgoing_.push(dst, record.as_span(), progress);
+  }
+}
+
+bool AmEngine::poll_inbox() {
+  bool any = false;
+  FabricMessage msg;
+  while (lamellae_.poll(msg)) {
+    any = true;
+    dispatch_buffer(std::move(msg.payload), msg.src);
+  }
+  return any;
+}
+
+void AmEngine::dispatch_buffer(ByteBuffer buffer, pe_id src) {
+  ScopedWorld scope(world_);
+  ScopedAmSrc src_scope(src);
+  AmEnvelope env;
+  std::span<const std::byte> payload;
+  while (read_record(buffer, env, payload)) {
+    if (env.type == kReplyType) {
+      Completer completer;
+      {
+        std::lock_guard lock(pending_mu_);
+        auto it = pending_.find(env.req_id);
+        if (it == pending_.end()) {
+          throw Error("AmEngine: reply for unknown request " +
+                      std::to_string(env.req_id));
+        }
+        completer = std::move(it->second);
+        pending_.erase(it);
+      }
+      ByteBuffer copy;
+      copy.write(payload.data(), payload.size());
+      Deserializer de(copy);
+      completer(de);
+      continue;
+    }
+    AmRegistry::instance().handler(env.type)(*this, src, env.req_id, env.flags,
+                                             payload);
+  }
+}
+
+void AmEngine::progress() {
+  const bool polled = poll_inbox();
+  if (!polled && pool_.pending() == 0) {
+    // Idle: push residual aggregation buffers out so fire-and-forget AMs
+    // are not stranded below the flush threshold.
+    flush();
+  }
+}
+
+void AmEngine::flush() {
+  outgoing_.flush_all([this] { poll_inbox(); });
+}
+
+void AmEngine::wait_all() {
+  flush();
+  while (outstanding() > 0) {
+    if (!pool_.try_run_one()) {
+      poll_inbox();
+      // Replies produced by remote PEs may still be sitting in *their*
+      // aggregation buffers; their idle workers flush them.  Meanwhile our
+      // own residuals must also leave.
+      if (outgoing_.has_pending()) flush();
+    }
+  }
+}
+
+}  // namespace lamellar

@@ -1,0 +1,300 @@
+// The per-PE active-message engine (paper Sec. III-C).
+//
+// Responsibilities:
+//  * typed, asynchronous AM launches (`exec_am_pe` / `exec_am_all` surface
+//    on World delegates here), returning futures;
+//  * serialization of AM payloads and aggregation of small records into
+//    per-destination buffers (OutgoingQueues, the double-buffered command
+//    queue of Sec. III-A1);
+//  * receive-side dispatch: buffers are parsed and each AM record becomes an
+//    asynchronous task on the PE's work-stealing pool;
+//  * request/reply tracking so every launch can be awaited, and the
+//    launched/completed counters behind wait_all();
+//  * local bypass: AMs addressed to the local PE skip serialization
+//    entirely (the behaviour the paper attributes to the SMP lamellae and
+//    to local execution in exec_am_*).
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <type_traits>
+#include <unordered_map>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/serialize.hpp"
+#include "common/unique_function.hpp"
+#include "core/am/am_context.hpp"
+#include "core/am/am_registry.hpp"
+#include "core/am/wire.hpp"
+#include "core/scheduler/future.hpp"
+#include "core/scheduler/thread_pool.hpp"
+#include "lamellae/cmd_queue.hpp"
+#include "lamellae/lamellae.hpp"
+
+namespace lamellar {
+
+namespace detail {
+
+template <typename Am>
+using am_exec_result_t =
+    decltype(std::declval<Am&>().exec(std::declval<AmContext&>()));
+
+}  // namespace detail
+
+/// The result type of awaiting an AM of type `Am`: its exec() return type,
+/// or Unit when exec() returns void.
+template <typename Am>
+using am_return_t =
+    std::conditional_t<std::is_void_v<detail::am_exec_result_t<Am>>, Unit,
+                       detail::am_exec_result_t<Am>>;
+
+/// Requirements on user AM types: serializable, default-constructible (for
+/// deserialization), with an exec(AmContext&) member.  The analogue of the
+/// paper's `#[AmData]` trait bounds (serde + Send + Sync).
+template <typename T>
+concept ActiveMessageType =
+    Serializable<T> && std::is_default_constructible_v<T> &&
+    requires(T t, AmContext& ctx) { t.exec(ctx); };
+
+class AmEngine {
+ public:
+  AmEngine(Lamellae& lamellae, ThreadPool& pool, const RuntimeConfig& cfg);
+
+  void bind_world(World* w) { world_ = w; }
+  [[nodiscard]] World* world() const { return world_; }
+
+  [[nodiscard]] pe_id my_pe() const { return lamellae_.my_pe(); }
+  [[nodiscard]] std::size_t num_pes() const { return lamellae_.num_pes(); }
+
+  // ---- typed sends ----
+
+  /// Launch `am` on `dst`; the future completes with exec()'s result.
+  template <ActiveMessageType Am>
+  Future<am_return_t<Am>> send(pe_id dst, Am am) {
+    using R = am_return_t<Am>;
+    Promise<R> promise;
+    send_cb(dst, std::move(am),
+            [promise](R r) mutable { promise.set_value(std::move(r)); });
+    return promise.future();
+  }
+
+  /// Launch a copy of `am` on every PE in id order; the future completes
+  /// with all results indexed by PE.
+  template <ActiveMessageType Am>
+  Future<std::vector<am_return_t<Am>>> send_all(const Am& am) {
+    using R = am_return_t<Am>;
+    struct Gather {
+      std::mutex mu;
+      std::vector<R> results;
+      std::size_t remaining;
+      Promise<std::vector<R>> promise;
+    };
+    auto g = std::make_shared<Gather>();
+    g->results.resize(num_pes());
+    g->remaining = num_pes();
+    for (pe_id pe = 0; pe < num_pes(); ++pe) {
+      send_cb(pe, Am(am), [g, pe](R r) {
+        std::unique_lock lock(g->mu);
+        g->results[pe] = std::move(r);
+        if (--g->remaining == 0) {
+          auto out = std::move(g->results);
+          lock.unlock();
+          g->promise.set_value(std::move(out));
+        }
+      });
+    }
+    return g->promise.future();
+  }
+
+  /// Core send: invoke `on_result` with exec()'s result once the AM has
+  /// completed (possibly remotely).  `on_result` runs on a runtime thread.
+  template <ActiveMessageType Am, typename Fn>
+  void send_cb(pe_id dst, Am am, Fn on_result) {
+    using R = am_return_t<Am>;
+    launched_.fetch_add(1, std::memory_order_acq_rel);
+    if (dst == my_pe()) {
+      // Local bypass: execute as a pool task without serialization.
+      lamellae_.charge(lamellae_.params().task_spawn_ns);
+      pool_.spawn([this, am = std::move(am), cb = std::move(on_result),
+                   src = my_pe()]() mutable {
+        ScopedWorld scope(world_);
+        AmContext ctx(*world_, src);
+        cb(invoke_exec<Am>(am, ctx));
+        completed_.fetch_add(1, std::memory_order_acq_rel);
+      });
+      return;
+    }
+
+    const request_id rid = next_request_id_.fetch_add(1);
+    register_completer(rid,
+                       [this, cb = std::move(on_result)](Deserializer& de) mutable {
+                         R r{};
+                         de.get(r);
+                         cb(std::move(r));
+                         completed_.fetch_add(1, std::memory_order_acq_rel);
+                       });
+
+    ByteBuffer record;
+    {
+      // Reserve the header, then serialize the payload in place.
+      Serializer ser(record);
+      record.write_pod<std::uint32_t>(AmTypeId<Am>::id);
+      record.write_pod<std::uint32_t>(kWantsReply);
+      record.write_pod<std::uint64_t>(rid);
+      record.write_pod<std::uint64_t>(0);  // patched below
+      ScopedWorld scope(world_);
+      ser.put(am);
+    }
+    patch_payload_len(record);
+    charge_serialize(record.size());
+    enqueue_record(dst, std::move(record));
+  }
+
+  /// Send a reply for request `rid` back to `dst` (used by executors).
+  template <typename R>
+  void send_reply(pe_id dst, request_id rid, const R& value) {
+    ByteBuffer record;
+    {
+      Serializer ser(record);
+      record.write_pod<std::uint32_t>(kReplyType);
+      record.write_pod<std::uint32_t>(0);
+      record.write_pod<std::uint64_t>(rid);
+      record.write_pod<std::uint64_t>(0);
+      ScopedWorld scope(world_);
+      ser.put(value);
+    }
+    patch_payload_len(record);
+    charge_serialize(record.size());
+    enqueue_record(dst, std::move(record));
+  }
+
+  // ---- progress / waiting ----
+
+  /// Drain the fabric inbox, dispatching AM records and completing replies.
+  /// Returns true if any message was processed.
+  bool poll_inbox();
+
+  /// Idle progress: poll, and flush residual aggregation buffers when the
+  /// pool has no runnable work.
+  void progress();
+
+  /// Flush all partially filled aggregation buffers.
+  void flush();
+
+  /// Block (helping) until every AM launched by this PE has completed.
+  void wait_all();
+
+  /// Block (helping) until `f` is ready; returns its value.
+  template <typename T>
+  T block_on(Future<T> f) {
+    flush();
+    while (!f.ready()) {
+      if (!pool_.try_run_one()) {
+        poll_inbox();
+        // Tasks executed while helping (nested AMs, replies) stage records
+        // below the flush threshold; the pool looks busy while this task is
+        // blocked, so the idle-flush path cannot fire — flush here.
+        if (outgoing_.has_pending()) flush();
+      }
+    }
+    return f.get();
+  }
+
+  [[nodiscard]] std::uint64_t outstanding() const {
+    return launched_.load(std::memory_order_acquire) -
+           completed_.load(std::memory_order_acquire);
+  }
+
+  Lamellae& lamellae() { return lamellae_; }
+  ThreadPool& pool() { return pool_; }
+  OutgoingQueues& outgoing() { return outgoing_; }
+  [[nodiscard]] const RuntimeConfig& config() const { return cfg_; }
+
+  /// Invoke exec() mapping void to Unit.
+  template <typename Am>
+  static am_return_t<Am> invoke_exec(Am& am, AmContext& ctx) {
+    if constexpr (std::is_void_v<detail::am_exec_result_t<Am>>) {
+      am.exec(ctx);
+      return Unit{};
+    } else {
+      return am.exec(ctx);
+    }
+  }
+
+ private:
+  using Completer = UniqueFunction<void(Deserializer&)>;
+
+  void register_completer(request_id rid, Completer completer);
+  void enqueue_record(pe_id dst, ByteBuffer record);
+  void charge_serialize(std::size_t bytes);
+  static void patch_payload_len(ByteBuffer& record);
+  void dispatch_buffer(ByteBuffer buffer, pe_id src);
+
+  Lamellae& lamellae_;
+  ThreadPool& pool_;
+  RuntimeConfig cfg_;
+  OutgoingQueues outgoing_;
+  World* world_ = nullptr;
+
+  std::mutex pending_mu_;
+  std::unordered_map<request_id, Completer> pending_;
+  std::atomic<request_id> next_request_id_{1};
+
+  std::atomic<std::uint64_t> launched_{0};
+  std::atomic<std::uint64_t> completed_{0};
+};
+
+/// Marker: AM types declaring `static constexpr bool kRuntimeInternal =
+/// true` execute inline during inbox dispatch instead of as pool tasks.
+/// The Darc lifetime protocol requires per-channel FIFO processing of its
+/// control messages (drop/revive/ack/check); inline execution preserves the
+/// fabric's per-inbox ordering, whereas independent tasks could reorder.
+template <typename T>
+concept InlineAm = requires { T::kRuntimeInternal; };
+
+/// Type-erased execution shim instantiated per AM type by the registration
+/// macro: deserialize, spawn the execution task (or run inline for runtime-
+/// internal control messages), and send the reply.
+template <typename Am>
+struct AmExecutor {
+  static void execute(AmEngine& engine, pe_id src, request_id rid,
+                      std::uint32_t flags, std::span<const std::byte> payload) {
+    ByteBuffer copy;
+    copy.write(payload.data(), payload.size());
+    Am am{};
+    {
+      Deserializer de(copy);
+      ScopedWorld scope(engine.world());
+      de.get(am);
+    }
+    engine.lamellae().charge(engine.lamellae().params().am_dispatch_ns);
+    if constexpr (InlineAm<Am>) {
+      ScopedWorld scope(engine.world());
+      AmContext ctx(*engine.world(), src);
+      auto result = AmEngine::invoke_exec<Am>(am, ctx);
+      if ((flags & kWantsReply) != 0) engine.send_reply(src, rid, result);
+      return;
+    } else {
+      engine.pool().spawn([&engine, am = std::move(am), src, rid,
+                           flags]() mutable {
+        ScopedWorld scope(engine.world());
+        AmContext ctx(*engine.world(), src);
+        auto result = AmEngine::invoke_exec<Am>(am, ctx);
+        if ((flags & kWantsReply) != 0) engine.send_reply(src, rid, result);
+      });
+    }
+  }
+};
+
+}  // namespace lamellar
+
+/// Register an AM type with the runtime lookup table.  Must appear at
+/// namespace scope in exactly one translation unit per AM type — the C++
+/// stand-in for the paper's #[am] procedural macro.
+#define LAMELLAR_REGISTER_AM(T)                                       \
+  template <>                                                         \
+  const ::lamellar::am_type_id ::lamellar::AmTypeId<T>::id =          \
+      ::lamellar::AmRegistry::instance().register_handler(            \
+          #T, &::lamellar::AmExecutor<T>::execute)

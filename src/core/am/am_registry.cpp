@@ -1,0 +1,34 @@
+#include "core/am/am_registry.hpp"
+
+#include "common/error.hpp"
+#include "core/am/wire.hpp"
+
+namespace lamellar {
+
+AmRegistry& AmRegistry::instance() {
+  static AmRegistry registry;
+  return registry;
+}
+
+am_type_id AmRegistry::register_handler(std::string name, AmExecuteFn fn) {
+  const auto id = static_cast<am_type_id>(entries_.size());
+  if (id == kReplyType) throw Error("AmRegistry: id space exhausted");
+  entries_.push_back(Entry{std::move(name), fn});
+  return id;
+}
+
+AmExecuteFn AmRegistry::handler(am_type_id id) const {
+  if (id >= entries_.size()) {
+    throw Error("AmRegistry: unknown AM type id " + std::to_string(id));
+  }
+  return entries_[id].fn;
+}
+
+const std::string& AmRegistry::name(am_type_id id) const {
+  if (id >= entries_.size()) {
+    throw Error("AmRegistry: unknown AM type id " + std::to_string(id));
+  }
+  return entries_[id].name;
+}
+
+}  // namespace lamellar

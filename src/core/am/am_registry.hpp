@@ -1,0 +1,53 @@
+// Registration of active-message types.
+//
+// The paper's `#[am]` procedural macro assigns each AM a unique identifier
+// "registered in a runtime lookup table, enabling AMs to properly
+// deserialize and execute on remote PEs" (Sec. III-C).  Here the same table
+// is populated at static-initialization time by the LAMELLAR_REGISTER_AM
+// macro; because all PEs share the process, ids are trivially consistent
+// across PEs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace lamellar {
+
+class AmEngine;
+
+/// Type-erased executor: deserializes an AM of its type from `payload`,
+/// schedules its execution on the engine's pool, and arranges the reply.
+using AmExecuteFn = void (*)(AmEngine& engine, pe_id src, request_id req_id,
+                             std::uint32_t flags,
+                             std::span<const std::byte> payload);
+
+class AmRegistry {
+ public:
+  static AmRegistry& instance();
+
+  am_type_id register_handler(std::string name, AmExecuteFn fn);
+
+  [[nodiscard]] AmExecuteFn handler(am_type_id id) const;
+  [[nodiscard]] const std::string& name(am_type_id id) const;
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::string name;
+    AmExecuteFn fn;
+  };
+  std::vector<Entry> entries_;
+};
+
+/// Compile-time hook holding the runtime id of a registered AM type.
+/// Specialized (defined) by LAMELLAR_REGISTER_AM.
+template <typename Am>
+struct AmTypeId {
+  static const am_type_id id;
+};
+
+}  // namespace lamellar

@@ -1,0 +1,54 @@
+// Wire format for active-message records inside aggregation buffers.
+//
+// A transferred buffer is a concatenation of records:
+//   [u32 am_type][u32 flags][u64 req_id][u64 payload_len][payload bytes]
+// Replies reuse the same framing with type = kReplyType and the request id
+// of the originating AM; the payload is the serialized return value.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/bytes.hpp"
+#include "common/types.hpp"
+
+namespace lamellar {
+
+inline constexpr am_type_id kReplyType = 0xFFFFFFFFu;
+
+enum AmFlags : std::uint32_t {
+  kWantsReply = 1u << 0,
+};
+
+struct AmEnvelope {
+  am_type_id type = 0;
+  std::uint32_t flags = 0;
+  request_id req_id = 0;
+};
+
+inline constexpr std::size_t kRecordHeaderBytes =
+    sizeof(std::uint32_t) * 2 + sizeof(std::uint64_t) * 2;
+
+inline void write_record(ByteBuffer& out, const AmEnvelope& env,
+                         std::span<const std::byte> payload) {
+  out.write_pod<std::uint32_t>(env.type);
+  out.write_pod<std::uint32_t>(env.flags);
+  out.write_pod<std::uint64_t>(env.req_id);
+  out.write_pod<std::uint64_t>(payload.size());
+  out.write(payload.data(), payload.size());
+}
+
+/// Read the next record from `in`.  Returns false at end of buffer.  The
+/// payload view aliases `in` and is valid until the buffer is destroyed.
+inline bool read_record(ByteBuffer& in, AmEnvelope& env,
+                        std::span<const std::byte>& payload) {
+  if (in.remaining() == 0) return false;
+  env.type = in.read_pod<std::uint32_t>();
+  env.flags = in.read_pod<std::uint32_t>();
+  env.req_id = in.read_pod<std::uint64_t>();
+  const auto len = in.read_pod<std::uint64_t>();
+  payload = in.read_view(static_cast<std::size_t>(len));
+  return true;
+}
+
+}  // namespace lamellar

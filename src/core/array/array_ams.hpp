@@ -1,0 +1,252 @@
+// Internal active messages implementing LamellarArray remote operations.
+//
+// Safe array types "utilize AMs to emulate the behavior of direct RDMA
+// operations, so all access to a remote PE's data is actually managed on
+// that PE" (paper Sec. III-F2).  Each AM carries the array's Darc (so the
+// state is guaranteed alive), pre-translated local indices, and the operands;
+// the owner applies the batch under its type's safety regime and replies
+// with fetch results.
+//
+// AMs are templates over the element type; LAMELLAR_REGISTER_ARRAY_ELEMENT
+// instantiates and registers the full set for one element type (the standard
+// numeric types are pre-registered in array_base.cpp).
+#pragma once
+
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "core/am/am_engine.hpp"
+#include "core/array/array_state.hpp"
+
+namespace lamellar {
+
+template <typename T>
+struct ArrayOpAm {
+  Darc<ArrayState<T>> state;
+  OpCode op = OpCode::kAdd;
+  std::uint8_t fetch = 0;
+  PairMode pair = PairMode::kOneToOne;
+  std::vector<std::uint64_t> locals;
+  std::vector<T> vals;
+
+  template <class Ar>
+  void serialize(Ar& ar) {
+    ar(state, op, fetch, pair, locals, vals);
+  }
+
+  std::vector<T> exec(AmContext&) {
+    return array_detail::apply_batch<T>(*state, op, fetch != 0, pair, locals,
+                                        vals);
+  }
+};
+
+template <typename T>
+struct ArrayCexAm {
+  Darc<ArrayState<T>> state;
+  std::vector<std::uint64_t> locals;
+  T expected{};
+  std::vector<T> desired;  ///< one per index, or a single shared value
+
+  template <class Ar>
+  void serialize(Ar& ar) {
+    ar(state, locals, expected, desired);
+  }
+
+  std::vector<CexResult<T>> exec(AmContext&) {
+    std::vector<CexResult<T>> out;
+    out.reserve(locals.size());
+    for (std::size_t j = 0; j < locals.size(); ++j) {
+      const T want = desired.size() == 1 ? desired[0] : desired[j];
+      out.push_back(array_detail::apply_cex<T>(*state, locals[j], expected,
+                                               want));
+    }
+    return out;
+  }
+};
+
+/// RDMA-like put of a contiguous local range, applied under the owner's
+/// safety regime (paper Fig. 2 discussion: UnsafeArray memcopies,
+/// LocalLockArray locks then memcopies, AtomicArray stores element-wise).
+template <typename T>
+struct ArrayPutAm {
+  Darc<ArrayState<T>> state;
+  std::uint64_t local_start = 0;
+  std::vector<T> data;
+
+  template <class Ar>
+  void serialize(Ar& ar) {
+    ar(state, local_start, data);
+  }
+
+  void exec(AmContext&) {
+    ArrayState<T>& st = *state;
+    auto slab = st.local_slab();
+    auto& params = st.world->lamellae().params();
+    switch (st.mode) {
+      case ArrayMode::kReadOnly:
+        throw Error("put on ReadOnlyArray");
+      case ArrayMode::kUnsafe:
+        st.world->lamellae().charge(params.memcpy_ns(data.size() * sizeof(T)));
+        std::copy(data.begin(), data.end(), slab.begin() + local_start);
+        break;
+      case ArrayMode::kLocalLock: {
+        std::unique_lock lock(*st.local_lock);
+        st.world->lamellae().charge(params.rwlock_acquire_ns +
+                                    params.memcpy_ns(data.size() * sizeof(T)));
+        std::copy(data.begin(), data.end(), slab.begin() + local_start);
+        break;
+      }
+      case ArrayMode::kAtomicNative:
+      case ArrayMode::kAtomicGeneric:
+        st.world->lamellae().charge(
+            (st.mode == ArrayMode::kAtomicNative ? params.atomic_store_ns
+                                                 : params.generic_mutex_ns) *
+            static_cast<double>(data.size()));
+        for (std::size_t j = 0; j < data.size(); ++j) {
+          array_detail::apply_one<T>(st, local_start + j, OpCode::kStore,
+                                     data[j]);
+        }
+        break;
+    }
+  }
+};
+
+/// RDMA-like get of a contiguous local range.
+template <typename T>
+struct ArrayGetAm {
+  Darc<ArrayState<T>> state;
+  std::uint64_t local_start = 0;
+  std::uint64_t len = 0;
+
+  template <class Ar>
+  void serialize(Ar& ar) {
+    ar(state, local_start, len);
+  }
+
+  std::vector<T> exec(AmContext&) {
+    ArrayState<T>& st = *state;
+    auto slab = st.local_slab();
+    std::vector<T> out;
+    out.reserve(len);
+    if (st.mode == ArrayMode::kLocalLock) {
+      std::shared_lock lock(*st.local_lock);
+      out.assign(slab.begin() + local_start,
+                 slab.begin() + local_start + len);
+      return out;
+    }
+    if (st.mode == ArrayMode::kAtomicNative ||
+        st.mode == ArrayMode::kAtomicGeneric) {
+      for (std::uint64_t j = 0; j < len; ++j) {
+        out.push_back(array_detail::apply_one<T>(st, local_start + j,
+                                                 OpCode::kLoad, T{}));
+      }
+      return out;
+    }
+    out.assign(slab.begin() + local_start, slab.begin() + local_start + len);
+    return out;
+  }
+};
+
+enum class ReduceOp : std::uint8_t { kSum, kProd, kMin, kMax };
+
+/// Owner-side partial reduction over the view's local slots.
+template <typename T>
+struct ArrayReduceAm {
+  Darc<ArrayState<T>> state;
+  ReduceOp op = ReduceOp::kSum;
+  std::uint64_t view_start = 0;
+  std::uint64_t view_len = 0;
+
+  template <class Ar>
+  void serialize(Ar& ar) {
+    ar(state, op, view_start, view_len);
+  }
+
+  T exec(AmContext&) {
+    ArrayState<T>& st = *state;
+    const auto [lo, hi] = st.local_view_range(view_start, view_len);
+    // With the PE-wide lock held (LocalLock mode), elements are read
+    // directly: apply_one would re-acquire the same lock and self-deadlock.
+    std::optional<std::shared_lock<std::shared_mutex>> lock;
+    if (st.mode == ArrayMode::kLocalLock) lock.emplace(*st.local_lock);
+    auto read = [&](std::size_t i) {
+      if (st.mode == ArrayMode::kAtomicNative ||
+          st.mode == ArrayMode::kAtomicGeneric) {
+        return array_detail::apply_one<T>(st, i, OpCode::kLoad, T{});
+      }
+      return st.local_slab()[i];
+    };
+    if (hi == lo) {
+      switch (op) {
+        case ReduceOp::kSum:
+          return T{};
+        case ReduceOp::kProd:
+          return T{1};
+        case ReduceOp::kMin:
+          return std::numeric_limits<T>::max();
+        case ReduceOp::kMax:
+          return std::numeric_limits<T>::lowest();
+      }
+      return T{};
+    }
+    T acc = read(lo);
+    for (std::size_t i = lo + 1; i < hi; ++i) {
+      const T v = read(i);
+      switch (op) {
+        case ReduceOp::kSum:
+          acc = acc + v;
+          break;
+        case ReduceOp::kProd:
+          acc = acc * v;
+          break;
+        case ReduceOp::kMin:
+          acc = std::min(acc, v);
+          break;
+        case ReduceOp::kMax:
+          acc = std::max(acc, v);
+          break;
+      }
+    }
+    return acc;
+  }
+};
+
+/// Collective fill helper.
+template <typename T>
+struct ArrayFillAm {
+  Darc<ArrayState<T>> state;
+  T value{};
+
+  template <class Ar>
+  void serialize(Ar& ar) {
+    ar(state, value);
+  }
+
+  void exec(AmContext&) {
+    ArrayState<T>& st = *state;
+    const std::size_t n = st.map.local_len(st.my_rank());
+    // Direct writes under the PE-wide lock (apply_one would re-lock it).
+    std::optional<std::unique_lock<std::shared_mutex>> lock;
+    if (st.mode == ArrayMode::kLocalLock) lock.emplace(*st.local_lock);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (st.mode == ArrayMode::kAtomicNative ||
+          st.mode == ArrayMode::kAtomicGeneric) {
+        array_detail::apply_one<T>(st, i, OpCode::kStore, value);
+      } else {
+        st.local_slab()[i] = value;
+      }
+    }
+  }
+};
+
+}  // namespace lamellar
+
+/// Instantiate + register the array AM family for one element type.
+#define LAMELLAR_REGISTER_ARRAY_ELEMENT(T)              \
+  LAMELLAR_REGISTER_AM(::lamellar::ArrayOpAm<T>);       \
+  LAMELLAR_REGISTER_AM(::lamellar::ArrayCexAm<T>);      \
+  LAMELLAR_REGISTER_AM(::lamellar::ArrayPutAm<T>);      \
+  LAMELLAR_REGISTER_AM(::lamellar::ArrayGetAm<T>);      \
+  LAMELLAR_REGISTER_AM(::lamellar::ArrayReduceAm<T>);   \
+  LAMELLAR_REGISTER_AM(::lamellar::ArrayFillAm<T>)

@@ -1,0 +1,13 @@
+// Instantiates and registers the array AM family for the standard numeric
+// element types (the analogue of the impls the Rust runtime derives).
+// Additional trivially-copyable element types can be registered from user
+// code with LAMELLAR_REGISTER_ARRAY_ELEMENT(T).
+#include "core/array/arrays.hpp"
+
+LAMELLAR_REGISTER_ARRAY_ELEMENT(std::uint8_t);
+LAMELLAR_REGISTER_ARRAY_ELEMENT(std::int32_t);
+LAMELLAR_REGISTER_ARRAY_ELEMENT(std::uint32_t);
+LAMELLAR_REGISTER_ARRAY_ELEMENT(std::int64_t);
+LAMELLAR_REGISTER_ARRAY_ELEMENT(std::uint64_t);
+LAMELLAR_REGISTER_ARRAY_ELEMENT(float);
+LAMELLAR_REGISTER_ARRAY_ELEMENT(double);

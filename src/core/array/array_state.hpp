@@ -1,0 +1,396 @@
+// Shared state behind every LamellarArray type, plus the owner-side
+// element-operation machinery (paper Sec. III-F).
+//
+// All five array types (Unsafe, ReadOnly, Atomic{Native,Generic}, LocalLock)
+// are views over one ArrayState, owned by a Darc, so conversions between
+// types are O(1) once the uniqueness check passes.  Element and batch
+// operations execute *on the owner PE* — that PE applies the op under its
+// type's safety regime (direct / atomic / per-element mutex / PE-wide
+// rwlock), which is exactly how the paper's safe arrays emulate RDMA.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <shared_mutex>
+#include <span>
+#include <vector>
+
+#include "core/array/distribution.hpp"
+#include "core/memregion/shared_region.hpp"
+#include "core/world/world.hpp"
+
+namespace lamellar {
+
+/// Safety regime currently owning the underlying data.
+enum class ArrayMode : std::uint8_t {
+  kUnsafe,
+  kReadOnly,
+  kAtomicNative,
+  kAtomicGeneric,
+  kLocalLock,
+};
+
+/// Element operations (paper Sec. III-F3): arithmetic, bit-wise, shifts,
+/// store/load/swap and compare-exchange, each with an optional fetch form.
+enum class OpCode : std::uint8_t {
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kRem,
+  kAnd,
+  kOr,
+  kXor,
+  kShl,
+  kShr,
+  kStore,
+  kLoad,
+  kSwap,
+  kCompareExchange,
+};
+
+/// How indices pair with values in a batch (paper: Many Indices - One Value,
+/// One Index - Many Values, Many - Many one-to-one).
+enum class PairMode : std::uint8_t {
+  kManyIdxOneVal,
+  kOneIdxManyVals,
+  kOneToOne,
+};
+
+/// Result of a compare-exchange: the value observed and whether it swapped.
+template <typename T>
+struct CexResult {
+  T current{};
+  std::uint8_t success = 0;
+  template <class Ar>
+  void serialize(Ar& ar) {
+    ar(current, success);
+  }
+};
+
+template <typename T>
+constexpr bool kNativeAtomicCapable =
+    std::is_integral_v<T> && sizeof(T) <= 8 && sizeof(T) >= 1;
+
+template <typename T>
+struct ArrayState {
+  World* world = nullptr;
+  Team team;
+  SharedMemoryRegion<T> data;
+  DistributionMap map;
+  ArrayMode mode = ArrayMode::kUnsafe;
+
+  /// LocalLockArray: one PE-wide readers-writer lock.
+  std::unique_ptr<std::shared_mutex> local_lock;
+
+  /// GenericAtomicArray: a 1-byte mutex per local element.
+  std::unique_ptr<std::atomic<std::uint8_t>[]> elem_locks;
+  std::size_t elem_locks_len = 0;
+
+  ArrayState() = default;
+  ArrayState(ArrayState&&) noexcept = default;
+  ArrayState(const ArrayState&) = delete;
+  ArrayState& operator=(const ArrayState&) = delete;
+
+  [[nodiscard]] std::span<T> local_slab() { return data.unsafe_local_slice(); }
+
+  [[nodiscard]] std::size_t my_rank() const { return team.my_rank(); }
+
+  void ensure_elem_locks() {
+    if (elem_locks) return;
+    elem_locks_len = map.per_rank_capacity();
+    elem_locks.reset(new std::atomic<std::uint8_t>[elem_locks_len]);
+    for (std::size_t i = 0; i < elem_locks_len; ++i) elem_locks[i].store(0);
+  }
+
+  void ensure_local_lock() {
+    if (!local_lock) local_lock = std::make_unique<std::shared_mutex>();
+  }
+
+  /// The contiguous range of *local* slots whose global indices fall inside
+  /// the view [view_start, view_start + view_len).  Contiguity holds for
+  /// both distributions: block views clip the slab; cyclic views stride
+  /// uniformly, which is contiguous in local-slot space.
+  [[nodiscard]] std::pair<std::size_t, std::size_t> local_view_range(
+      global_index view_start, std::size_t view_len) const {
+    const std::size_t rank = team.my_rank();
+    const std::size_t llen = map.local_len(rank);
+    if (view_len == 0 || llen == 0) return {0, 0};
+    const global_index s = view_start;
+    const global_index e = view_start + view_len;  // exclusive
+    if (map.dist() == Distribution::kBlock) {
+      const global_index base = rank * map.per_rank_capacity();
+      const std::size_t lo =
+          s > base ? std::min<std::size_t>(s - base, llen) : 0;
+      const std::size_t hi =
+          e > base ? std::min<std::size_t>(e - base, llen) : 0;
+      return {lo, hi};
+    }
+    const std::size_t n = map.num_ranks();
+    const std::size_t lo =
+        s > rank ? std::min<std::size_t>(ceil_div(s - rank, n), llen) : 0;
+    const std::size_t hi =
+        e > rank ? std::min<std::size_t>(ceil_div(e - rank, n), llen) : 0;
+    return {lo, hi};
+  }
+
+  // The state never travels by value; its Darc id does.
+  template <class Ar>
+  void serialize(Ar&) {
+    throw Error("ArrayState is transferred via its Darc id only");
+  }
+};
+
+namespace array_detail {
+
+/// Spin on a 1-byte mutex (the paper's GenericAtomicArray element guard).
+class ByteLockGuard {
+ public:
+  explicit ByteLockGuard(std::atomic<std::uint8_t>& b) : b_(b) {
+    std::uint8_t expected = 0;
+    while (!b_.compare_exchange_weak(expected, 1,
+                                     std::memory_order_acquire)) {
+      expected = 0;
+    }
+  }
+  ~ByteLockGuard() { b_.store(0, std::memory_order_release); }
+  ByteLockGuard(const ByteLockGuard&) = delete;
+  ByteLockGuard& operator=(const ByteLockGuard&) = delete;
+
+ private:
+  std::atomic<std::uint8_t>& b_;
+};
+
+/// Pure value-level semantics of an op (no concurrency).
+template <typename T>
+T combine(OpCode op, T cur, T operand) {
+  switch (op) {
+    case OpCode::kAdd:
+      return cur + operand;
+    case OpCode::kSub:
+      return cur - operand;
+    case OpCode::kMul:
+      return cur * operand;
+    case OpCode::kDiv:
+      return cur / operand;
+    case OpCode::kRem:
+      if constexpr (std::is_integral_v<T>) {
+        return cur % operand;
+      } else {
+        throw Error("rem on non-integral element type");
+      }
+    case OpCode::kAnd:
+      if constexpr (std::is_integral_v<T>) {
+        return cur & operand;
+      } else {
+        throw Error("bit-op on non-integral element type");
+      }
+    case OpCode::kOr:
+      if constexpr (std::is_integral_v<T>) {
+        return cur | operand;
+      } else {
+        throw Error("bit-op on non-integral element type");
+      }
+    case OpCode::kXor:
+      if constexpr (std::is_integral_v<T>) {
+        return cur ^ operand;
+      } else {
+        throw Error("bit-op on non-integral element type");
+      }
+    case OpCode::kShl:
+      if constexpr (std::is_integral_v<T>) {
+        return cur << operand;
+      } else {
+        throw Error("shift on non-integral element type");
+      }
+    case OpCode::kShr:
+      if constexpr (std::is_integral_v<T>) {
+        return cur >> operand;
+      } else {
+        throw Error("shift on non-integral element type");
+      }
+    case OpCode::kStore:
+    case OpCode::kSwap:
+      return operand;
+    case OpCode::kLoad:
+      return cur;
+    case OpCode::kCompareExchange:
+      throw Error("compare_exchange handled separately");
+  }
+  throw Error("unknown op code");
+}
+
+/// Apply one op to `slot` under this array mode's safety regime; returns the
+/// previous value.
+template <typename T>
+T apply_one(ArrayState<T>& st, std::size_t local, OpCode op, T operand) {
+  T* slot = st.local_slab().data() + local;
+  switch (st.mode) {
+    case ArrayMode::kUnsafe:
+    case ArrayMode::kReadOnly: {
+      // ReadOnly permits only loads (enforced by the wrapper API).
+      const T prev = *slot;
+      if (op != OpCode::kLoad) *slot = combine(op, prev, operand);
+      return prev;
+    }
+    case ArrayMode::kAtomicNative: {
+      if constexpr (kNativeAtomicCapable<T>) {
+        std::atomic_ref<T> ref(*slot);
+        switch (op) {
+          case OpCode::kAdd:
+            return ref.fetch_add(operand, std::memory_order_acq_rel);
+          case OpCode::kSub:
+            return ref.fetch_sub(operand, std::memory_order_acq_rel);
+          case OpCode::kAnd:
+            return ref.fetch_and(operand, std::memory_order_acq_rel);
+          case OpCode::kOr:
+            return ref.fetch_or(operand, std::memory_order_acq_rel);
+          case OpCode::kXor:
+            return ref.fetch_xor(operand, std::memory_order_acq_rel);
+          case OpCode::kLoad:
+            return ref.load(std::memory_order_acquire);
+          case OpCode::kStore:
+          case OpCode::kSwap:
+            return ref.exchange(operand, std::memory_order_acq_rel);
+          default: {
+            // mul/div/rem/shifts: CAS loop.
+            T cur = ref.load(std::memory_order_acquire);
+            while (!ref.compare_exchange_weak(cur, combine(op, cur, operand),
+                                              std::memory_order_acq_rel)) {
+            }
+            return cur;
+          }
+        }
+      }
+      throw Error("native atomic mode on incompatible element type");
+    }
+    case ArrayMode::kAtomicGeneric: {
+      ByteLockGuard guard(st.elem_locks[local]);
+      const T prev = *slot;
+      if (op != OpCode::kLoad) *slot = combine(op, prev, operand);
+      return prev;
+    }
+    case ArrayMode::kLocalLock: {
+      // Callers batch under the PE-wide lock; this path takes it per-op.
+      std::unique_lock lock(*st.local_lock);
+      const T prev = *slot;
+      if (op != OpCode::kLoad) *slot = combine(op, prev, operand);
+      return prev;
+    }
+  }
+  throw Error("unknown array mode");
+}
+
+/// Compare-exchange under the mode's regime.
+template <typename T>
+CexResult<T> apply_cex(ArrayState<T>& st, std::size_t local, T expected,
+                       T desired) {
+  T* slot = st.local_slab().data() + local;
+  switch (st.mode) {
+    case ArrayMode::kAtomicNative:
+      if constexpr (kNativeAtomicCapable<T>) {
+        std::atomic_ref<T> ref(*slot);
+        T exp = expected;
+        const bool ok =
+            ref.compare_exchange_strong(exp, desired,
+                                        std::memory_order_acq_rel);
+        return {exp, static_cast<std::uint8_t>(ok)};
+      }
+      throw Error("native atomic mode on incompatible element type");
+    case ArrayMode::kAtomicGeneric: {
+      ByteLockGuard guard(st.elem_locks[local]);
+      if (*slot == expected) {
+        *slot = desired;
+        return {expected, 1};
+      }
+      return {*slot, 0};
+    }
+    case ArrayMode::kLocalLock: {
+      std::unique_lock lock(*st.local_lock);
+      if (*slot == expected) {
+        *slot = desired;
+        return {expected, 1};
+      }
+      return {*slot, 0};
+    }
+    case ArrayMode::kUnsafe: {
+      if (*slot == expected) {
+        *slot = desired;
+        return {expected, 1};
+      }
+      return {*slot, 0};
+    }
+    case ArrayMode::kReadOnly:
+      throw Error("compare_exchange on ReadOnlyArray");
+  }
+  throw Error("unknown array mode");
+}
+
+/// Apply a whole batch (already translated to local indices) and collect
+/// fetch results in order.  Charges per-element safety costs to the PE
+/// clock so Fig. 2/3 reflect the paper's observed overhead ordering.
+template <typename T>
+std::vector<T> apply_batch(ArrayState<T>& st, OpCode op, bool fetch,
+                           PairMode pair,
+                           std::span<const std::uint64_t> locals,
+                           std::span<const T> vals) {
+  std::vector<T> results;
+  const std::size_t n =
+      pair == PairMode::kOneIdxManyVals ? vals.size() : locals.size();
+  if (fetch) results.reserve(n);
+
+  auto& lamellae = st.world->lamellae();
+  const auto& params = lamellae.params();
+  double cost = 0.0;
+  switch (st.mode) {
+    case ArrayMode::kAtomicNative:
+      cost = params.atomic_store_ns * static_cast<double>(n);
+      break;
+    case ArrayMode::kAtomicGeneric:
+      cost = params.generic_mutex_ns * static_cast<double>(n);
+      break;
+    case ArrayMode::kLocalLock:
+      cost = params.rwlock_acquire_ns +
+             static_cast<double>(n * sizeof(T)) / params.memcpy_bytes_per_ns;
+      break;
+    default:
+      cost = static_cast<double>(n * sizeof(T)) / params.memcpy_bytes_per_ns;
+      break;
+  }
+  lamellae.charge(cost);
+
+  if (st.mode == ArrayMode::kLocalLock && n > 1) {
+    // Whole-batch exclusive lock, then direct application.
+    std::unique_lock lock(*st.local_lock);
+    const ArrayMode saved = st.mode;
+    st.mode = ArrayMode::kUnsafe;
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::size_t local = pair == PairMode::kOneIdxManyVals
+                                    ? locals[0]
+                                    : locals[j];
+      const T operand = vals.empty()
+                            ? T{}
+                            : (pair == PairMode::kManyIdxOneVal ? vals[0]
+                                                                : vals[j]);
+      const T prev = apply_one(st, local, op, operand);
+      if (fetch) results.push_back(prev);
+    }
+    st.mode = saved;
+    return results;
+  }
+
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::size_t local =
+        pair == PairMode::kOneIdxManyVals ? locals[0] : locals[j];
+    const T operand =
+        vals.empty() ? T{}
+                     : (pair == PairMode::kManyIdxOneVal ? vals[0] : vals[j]);
+    const T prev = apply_one(st, local, op, operand);
+    if (fetch) results.push_back(prev);
+  }
+  return results;
+}
+
+}  // namespace array_detail
+
+}  // namespace lamellar

@@ -1,0 +1,771 @@
+// LamellarArray types (paper Sec. III-F): the safe PGAS abstraction.
+//
+//   UnsafeArray    — no safety guarantees; direct RDMA allowed ("intended
+//                    for internal use, but exposed and marked unsafe").
+//   ReadOnlyArray  — immutable; loads only; direct RDMA get is safe.
+//   AtomicArray    — element-wise atomicity: native atomics when the
+//                    element type supports them (NativeAtomicArray),
+//                    otherwise a 1-byte mutex per element
+//                    (GenericAtomicArray).
+//   LocalLockArray — a PE-wide readers-writer lock guards each local slab.
+//
+// All four share one Darc-owned ArrayState; conversions (into_atomic, ...)
+// are collective, succeed only when exactly one reference exists per PE,
+// and re-tag the state in place.  0-based global indexing with Block or
+// Cyclic layout; element/batch operations execute owner-side per the type's
+// regime; iterators and reductions are provided via the shared base.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/array/array_ams.hpp"
+#include "core/array/batch.hpp"
+#include "core/array/iterators.hpp"
+
+namespace lamellar {
+
+template <typename T>
+class UnsafeArray;
+template <typename T>
+class ReadOnlyArray;
+template <typename T>
+class AtomicArray;
+template <typename T>
+class LocalLockArray;
+
+namespace array_detail {
+
+/// Build the shared state for a fresh array (collective on `team`).
+template <typename T>
+Darc<ArrayState<T>> create_state(World& world, const Team& team,
+                                 global_index len, Distribution dist,
+                                 ArrayMode mode) {
+  ArrayState<T> st;
+  st.world = &world;
+  st.team = team;
+  st.map = DistributionMap(dist, len, team.size());
+  st.data = SharedMemoryRegion<T>::create_on(world, team,
+                                             st.map.per_rank_capacity());
+  st.mode = mode;
+  if (mode == ArrayMode::kAtomicGeneric) st.ensure_elem_locks();
+  if (mode == ArrayMode::kLocalLock) st.ensure_local_lock();
+  // The symmetric heap may recycle memory: zero the slab before publishing.
+  auto slab = st.data.unsafe_local_slice();
+  std::fill(slab.begin(), slab.end(), T{});
+  return world.new_darc_on(team, std::move(st));
+}
+
+}  // namespace array_detail
+
+/// Functionality shared by every array type.  `Derived` is the concrete
+/// wrapper (CRTP) so sub_array and conversions return the right type.
+template <typename Derived, typename T>
+class ArrayBase {
+ public:
+  static_assert(std::is_trivially_copyable_v<T>,
+                "LamellarArray elements must be trivially copyable");
+
+  ArrayBase() = default;
+
+  [[nodiscard]] bool valid() const { return state_.valid(); }
+  [[nodiscard]] global_index len() const { return view_len_; }
+  [[nodiscard]] const Team& team() const { return state_->team; }
+  [[nodiscard]] World& world() const { return *state_->world; }
+  [[nodiscard]] Distribution dist() const { return state_->map.dist(); }
+  [[nodiscard]] ArrayMode mode() const { return state_->mode; }
+  [[nodiscard]] bool is_sub_array() const {
+    return view_start_ != 0 || view_len_ != state_->map.global_len();
+  }
+
+  /// Runtime-internal escape hatch: the Darc owning the shared state.
+  /// Used by hand-optimized AMs (e.g. the paper's manually aggregated
+  /// Histogram variant) that carry the array inside a custom AM.
+  [[nodiscard]] Darc<ArrayState<T>> state_darc() const { return state_; }
+
+  /// Number of elements of this view resident on the calling PE.
+  [[nodiscard]] std::size_t local_len() const {
+    auto [lo, hi] = state_->local_view_range(view_start_, view_len_);
+    return hi - lo;
+  }
+
+  /// Owner placement of view-relative index `i`.
+  [[nodiscard]] Placement place(global_index i) const {
+    return state_->map.place(view_start_ + i);
+  }
+
+  /// A view restricted to [start, start+len) of this view.
+  [[nodiscard]] Derived sub_array(global_index start, std::size_t len) const {
+    if (start + len > view_len_) {
+      throw_bounds("sub_array", start + len, view_len_);
+    }
+    Derived out;
+    out.state_ = state_;
+    out.view_start_ = view_start_ + start;
+    out.view_len_ = len;
+    return out;
+  }
+
+  // ---- RDMA-like bulk transfers (AM-mediated, safe per type) ----
+
+  /// Write `data` at global (view) index `start`, owner-side, respecting the
+  /// array type's safety regime.  ReadOnlyArray deletes this (no put).
+  Future<Unit> put(global_index start, std::span<const T> data) {
+    check_range(start, data.size());
+    // Paper Sec. IV-A: above the aggregation threshold the UnsafeArray
+    // switches from Vec-carrying AMs to direct RDMA (no safety regime to
+    // preserve); the other types keep owner-side application.
+    if (state_->mode == ArrayMode::kUnsafe &&
+        data.size_bytes() >= state_->world->config().agg_threshold_bytes) {
+      auto ranges = array_detail::plan_ranges(*state_, view_start_ + start,
+                                              data.size());
+      ArrayState<T>& st = *state_;
+      const std::size_t region = st.data.arena_offset();
+      for (auto& r : ranges) {
+        st.world->lamellae().put(
+            st.team.world_pe(r.rank), region + r.local_start * sizeof(T),
+            std::as_bytes(std::span<const T>(data.data() + r.caller_offset,
+                                             r.len)));
+      }
+      return ready_future(Unit{});
+    }
+    auto ranges =
+        array_detail::plan_ranges(*state_, view_start_ + start, data.size());
+    auto gather = std::make_shared<array_detail::UnitGather>();
+    gather->remaining = ranges.size();
+    if (ranges.empty()) {
+      gather->promise.set_value(Unit{});
+      return gather->promise.future();
+    }
+    auto fut = gather->promise.future();
+    ArrayState<T>& st = *state_;
+    const std::size_t my_rank = st.my_rank();
+    for (auto& r : ranges) {
+      std::vector<T> slice(data.begin() + r.caller_offset,
+                           data.begin() + r.caller_offset + r.len);
+      if (r.rank == my_rank) {
+        ArrayPutAm<T> am{state_, r.local_start, std::move(slice)};
+        AmContext ctx(*st.world, st.world->my_pe());
+        am.exec(ctx);
+        array_detail::finish_unit(gather);
+        continue;
+      }
+      ArrayPutAm<T> am{state_, r.local_start, std::move(slice)};
+      st.world->engine().send_cb(
+          st.team.world_pe(r.rank), std::move(am),
+          [gather](Unit) { array_detail::finish_unit(gather); });
+    }
+    return fut;
+  }
+
+  /// Read `len` elements starting at (view) index `start`.
+  Future<std::vector<T>> get(global_index start, std::size_t len) {
+    check_range(start, len);
+    auto ranges =
+        array_detail::plan_ranges(*state_, view_start_ + start, len);
+    struct GetGather {
+      std::mutex mu;
+      std::vector<T> out;
+      std::size_t remaining = 0;
+      Promise<std::vector<T>> promise;
+    };
+    auto gather = std::make_shared<GetGather>();
+    gather->out.resize(len);
+    gather->remaining = ranges.size();
+    if (ranges.empty()) {
+      gather->promise.set_value({});
+      return gather->promise.future();
+    }
+    auto fut = gather->promise.future();
+    ArrayState<T>& st = *state_;
+    const std::size_t my_rank = st.my_rank();
+    auto absorb = [gather](std::size_t caller_offset, std::vector<T> piece) {
+      std::unique_lock lock(gather->mu);
+      std::copy(piece.begin(), piece.end(),
+                gather->out.begin() + caller_offset);
+      if (--gather->remaining == 0) {
+        auto out = std::move(gather->out);
+        lock.unlock();
+        gather->promise.set_value(std::move(out));
+      }
+    };
+    for (auto& r : ranges) {
+      ArrayGetAm<T> am{state_, r.local_start, r.len};
+      if (r.rank == my_rank) {
+        AmContext ctx(*st.world, st.world->my_pe());
+        absorb(r.caller_offset, am.exec(ctx));
+        continue;
+      }
+      st.world->engine().send_cb(
+          st.team.world_pe(r.rank), std::move(am),
+          [absorb, off = r.caller_offset](std::vector<T> piece) {
+            absorb(off, std::move(piece));
+          });
+    }
+    return fut;
+  }
+
+  /// Collective fill of the whole view with `value` (all members call).
+  void fill(T value) {
+    ArrayState<T>& st = *state_;
+    auto [lo, hi] = st.local_view_range(view_start_, view_len_);
+    // Direct writes under the PE-wide lock (apply_one would re-lock it).
+    std::optional<std::unique_lock<std::shared_mutex>> lock;
+    if (st.mode == ArrayMode::kLocalLock) lock.emplace(*st.local_lock);
+    auto slab = st.local_slab();
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (st.mode == ArrayMode::kAtomicNative ||
+          st.mode == ArrayMode::kAtomicGeneric) {
+        array_detail::apply_one<T>(st, i, OpCode::kStore, value);
+      } else {
+        slab[i] = value;
+      }
+    }
+    lock.reset();
+    const_cast<Team&>(st.team).barrier();
+  }
+
+  // ---- iterators (paper Sec. III-F4) ----
+
+  /// One-sided parallel iteration over the calling PE's local elements.
+  [[nodiscard]] auto local_iter() const {
+    return LocalIter<T>(state_, view_start_, view_len_, /*distributed=*/false,
+                        array_detail::IdentityPipe{}, {}, true);
+  }
+
+  /// Collective parallel iteration: every member PE iterates its own data.
+  [[nodiscard]] auto dist_iter() const {
+    return LocalIter<T>(state_, view_start_, view_len_, /*distributed=*/true,
+                        array_detail::IdentityPipe{}, {}, true);
+  }
+
+  /// Serial iteration over the entire (view of the) array from this PE.
+  [[nodiscard]] OneSidedIter<T> onesided_iter(
+      std::size_t buffer_elems = 4096) const {
+    return OneSidedIter<T>(state_, view_start_, view_len_, buffer_elems);
+  }
+
+  // ---- reductions ----
+
+  Future<T> reduce(ReduceOp op) const {
+    struct RGather {
+      std::mutex mu;
+      std::size_t remaining = 0;
+      bool first = true;
+      T acc{};
+      ReduceOp op{};
+      Promise<T> promise;
+    };
+    ArrayState<T>& st = *state_;
+    auto gather = std::make_shared<RGather>();
+    gather->remaining = st.team.size();
+    gather->op = op;
+    auto fut = gather->promise.future();
+    for (std::size_t r = 0; r < st.team.size(); ++r) {
+      ArrayReduceAm<T> am;
+      am.state = state_;
+      am.op = op;
+      am.view_start = view_start_;
+      am.view_len = view_len_;
+      st.world->engine().send_cb(st.team.world_pe(r), std::move(am),
+                                 [gather](T partial) {
+                                   std::unique_lock lock(gather->mu);
+                                   if (gather->first) {
+                                     gather->acc = partial;
+                                     gather->first = false;
+                                   } else {
+                                     switch (gather->op) {
+                                       case ReduceOp::kSum:
+                                         gather->acc = gather->acc + partial;
+                                         break;
+                                       case ReduceOp::kProd:
+                                         gather->acc = gather->acc * partial;
+                                         break;
+                                       case ReduceOp::kMin:
+                                         gather->acc =
+                                             std::min(gather->acc, partial);
+                                         break;
+                                       case ReduceOp::kMax:
+                                         gather->acc =
+                                             std::max(gather->acc, partial);
+                                         break;
+                                     }
+                                   }
+                                   if (--gather->remaining == 0) {
+                                     T out = gather->acc;
+                                     lock.unlock();
+                                     gather->promise.set_value(out);
+                                   }
+                                 });
+    }
+    return fut;
+  }
+
+  Future<T> sum() const { return reduce(ReduceOp::kSum); }
+  Future<T> prod() const { return reduce(ReduceOp::kProd); }
+  Future<T> min() const { return reduce(ReduceOp::kMin); }
+  Future<T> max() const { return reduce(ReduceOp::kMax); }
+
+  // ---- conversions (collective; exactly one reference per PE) ----
+
+  UnsafeArray<T> into_unsafe() &&;
+  ReadOnlyArray<T> into_read_only() &&;
+  AtomicArray<T> into_atomic() &&;
+  LocalLockArray<T> into_local_lock() &&;
+
+ protected:
+  template <typename, typename>
+  friend class ArrayBase;
+
+  void adopt(Darc<ArrayState<T>> state) {
+    state_ = std::move(state);
+    view_start_ = 0;
+    view_len_ = state_->map.global_len();
+  }
+
+  void check_range(global_index start, std::size_t n) const {
+    if (start + n > view_len_) throw_bounds("array range", start + n, view_len_);
+  }
+
+  /// Single-element non-fetch op.
+  Future<Unit> single_op(OpCode op, global_index i, T v) {
+    check_range(i, 1);
+    ArrayState<T>& st = *state_;
+    const Placement p = place(i);
+    if (p.rank == st.my_rank()) {
+      array_detail::apply_one<T>(st, p.local_index, op, v);
+      return ready_future(Unit{});
+    }
+    Promise<Unit> promise;
+    ArrayOpAm<T> am;
+    am.state = state_;
+    am.op = op;
+    am.fetch = 0;
+    am.pair = PairMode::kOneToOne;
+    am.locals = {p.local_index};
+    am.vals = {v};
+    st.world->engine().send_cb(
+        st.team.world_pe(p.rank), std::move(am),
+        [promise](std::vector<T>) mutable { promise.set_value(Unit{}); });
+    return promise.future();
+  }
+
+  /// Single-element fetch op (returns the previous value).
+  Future<T> single_fetch(OpCode op, global_index i, T v) {
+    check_range(i, 1);
+    ArrayState<T>& st = *state_;
+    const Placement p = place(i);
+    if (p.rank == st.my_rank()) {
+      return ready_future(
+          array_detail::apply_one<T>(st, p.local_index, op, v));
+    }
+    Promise<T> promise;
+    ArrayOpAm<T> am;
+    am.state = state_;
+    am.op = op;
+    am.fetch = 1;
+    am.pair = PairMode::kOneToOne;
+    am.locals = {p.local_index};
+    am.vals = {v};
+    st.world->engine().send_cb(st.team.world_pe(p.rank), std::move(am),
+                               [promise](std::vector<T> r) mutable {
+                                 promise.set_value(r.empty() ? T{} : r[0]);
+                               });
+    return promise.future();
+  }
+
+  Future<std::vector<T>> batch(OpCode op, bool fetch,
+                               std::span<const global_index> idxs, T v) {
+    for (auto i : idxs) check_range(i, 1);
+    const T vals[1] = {v};
+    return array_detail::dispatch_op<T>(state_, view_start_, op, fetch, idxs,
+                                        std::span<const T>(vals, 1));
+  }
+
+  Future<std::vector<T>> batch(OpCode op, bool fetch,
+                               std::span<const global_index> idxs,
+                               std::span<const T> vals) {
+    if (idxs.size() != vals.size()) {
+      throw Error("batch op: indices and values must pair one-to-one");
+    }
+    for (auto i : idxs) check_range(i, 1);
+    return array_detail::dispatch_op<T>(state_, view_start_, op, fetch, idxs,
+                                        vals);
+  }
+
+  Future<std::vector<T>> batch_one_idx(OpCode op, bool fetch, global_index i,
+                                       std::span<const T> vals) {
+    check_range(i, 1);
+    return array_detail::dispatch_op_one_idx<T>(state_, view_start_, op,
+                                                fetch, i, vals);
+  }
+
+  void convert_precheck(const char* what) const {
+    if (!state_.valid()) throw ConversionError("conversion of empty array");
+    if (is_sub_array()) {
+      throw ConversionError(std::string(what) + " on a sub-array view");
+    }
+    // Paper semantics: conversion *blocks* until precisely one reference
+    // exists per PE — the one performing the conversion (outstanding
+    // operations hold transient references; footnote 2 notes the deadlock
+    // hazard when user handles never drop).  We help the runtime while
+    // waiting, and diagnose the user-held-handle case: if the runtime is
+    // fully quiescent and extra references persist, no amount of waiting
+    // can release them.
+    World& world = *state_->world;
+    std::size_t idle_probes = 0;
+    while (true) {
+      const auto refs = world.darc_manager().local_refs(state_.id());
+      if (refs == 1) return;
+      const bool ran = world.pool().try_run_one();
+      world.engine().poll_inbox();
+      if (!ran && world.engine().outstanding() == 0 &&
+          world.pool().pending() == 0) {
+        if (++idle_probes > 10'000) {
+          throw ConversionError(
+              std::string(what) + ": " + std::to_string(refs) +
+              " references exist on this PE and the runtime is idle — "
+              "another handle (e.g. a sub-array) is still alive");
+        }
+      } else {
+        idle_probes = 0;
+      }
+    }
+  }
+
+  template <typename D2>
+  D2 convert_to(ArrayMode mode, const char* what) {
+    convert_precheck(what);
+    ArrayState<T>& st = *state_;
+    const_cast<Team&>(st.team).barrier();
+    st.mode = mode;
+    if (mode == ArrayMode::kAtomicGeneric) st.ensure_elem_locks();
+    if (mode == ArrayMode::kLocalLock) st.ensure_local_lock();
+    const_cast<Team&>(st.team).barrier();
+    D2 out;
+    out.adopt(std::move(state_));
+    view_start_ = 0;
+    view_len_ = 0;
+    return out;
+  }
+
+  Darc<ArrayState<T>> state_;
+  std::size_t view_start_ = 0;
+  std::size_t view_len_ = 0;
+};
+
+/// The element-operation surface shared by writable array types
+/// (paper Sec. III-F3): arithmetic, bit-wise, shift, store/swap — each as a
+/// single op, a fetch variant, and the three batch forms.
+#define LAMELLAR_DEFINE_ELEMENT_OP(NAME, CODE)                                \
+  Future<Unit> NAME(global_index i, T v) {                                    \
+    return this->single_op(CODE, i, v);                                       \
+  }                                                                           \
+  Future<T> fetch_##NAME(global_index i, T v) {                               \
+    return this->single_fetch(CODE, i, v);                                    \
+  }                                                                           \
+  Future<std::vector<T>> batch_##NAME(std::span<const global_index> idxs,     \
+                                      T v) {                                  \
+    return this->batch(CODE, false, idxs, v);                                 \
+  }                                                                           \
+  Future<std::vector<T>> batch_##NAME(std::span<const global_index> idxs,     \
+                                      std::span<const T> vals) {              \
+    return this->batch(CODE, false, idxs, vals);                              \
+  }                                                                           \
+  Future<std::vector<T>> batch_##NAME(global_index i,                         \
+                                      std::span<const T> vals) {              \
+    return this->batch_one_idx(CODE, false, i, vals);                         \
+  }                                                                           \
+  Future<std::vector<T>> batch_fetch_##NAME(                                  \
+      std::span<const global_index> idxs, T v) {                              \
+    return this->batch(CODE, true, idxs, v);                                  \
+  }                                                                           \
+  Future<std::vector<T>> batch_fetch_##NAME(                                  \
+      std::span<const global_index> idxs, std::span<const T> vals) {          \
+    return this->batch(CODE, true, idxs, vals);                               \
+  }                                                                           \
+  Future<std::vector<T>> batch_fetch_##NAME(global_index i,                   \
+                                            std::span<const T> vals) {        \
+    return this->batch_one_idx(CODE, true, i, vals);                          \
+  }
+
+#define LAMELLAR_DEFINE_ALL_ELEMENT_OPS()                                     \
+  LAMELLAR_DEFINE_ELEMENT_OP(add, OpCode::kAdd)                               \
+  LAMELLAR_DEFINE_ELEMENT_OP(sub, OpCode::kSub)                               \
+  LAMELLAR_DEFINE_ELEMENT_OP(mul, OpCode::kMul)                               \
+  LAMELLAR_DEFINE_ELEMENT_OP(div, OpCode::kDiv)                               \
+  LAMELLAR_DEFINE_ELEMENT_OP(rem, OpCode::kRem)                               \
+  LAMELLAR_DEFINE_ELEMENT_OP(bit_and, OpCode::kAnd)                           \
+  LAMELLAR_DEFINE_ELEMENT_OP(bit_or, OpCode::kOr)                             \
+  LAMELLAR_DEFINE_ELEMENT_OP(bit_xor, OpCode::kXor)                           \
+  LAMELLAR_DEFINE_ELEMENT_OP(shl, OpCode::kShl)                               \
+  LAMELLAR_DEFINE_ELEMENT_OP(shr, OpCode::kShr)                               \
+  LAMELLAR_DEFINE_ELEMENT_OP(store, OpCode::kStore)                           \
+  LAMELLAR_DEFINE_ELEMENT_OP(swap, OpCode::kSwap)                             \
+                                                                              \
+  Future<T> load(global_index i) {                                            \
+    return this->single_fetch(OpCode::kLoad, i, T{});                         \
+  }                                                                           \
+  Future<std::vector<T>> batch_load(std::span<const global_index> idxs) {     \
+    return this->batch(OpCode::kLoad, true, idxs, T{});                       \
+  }                                                                           \
+  Future<CexResult<T>> compare_exchange(global_index i, T expected,           \
+                                        T desired) {                          \
+    this->check_range(i, 1);                                                  \
+    ArrayState<T>& st = *this->state_;                                        \
+    const Placement p = this->place(i);                                       \
+    if (p.rank == st.my_rank()) {                                             \
+      return ready_future(array_detail::apply_cex<T>(st, p.local_index,       \
+                                                     expected, desired));     \
+    }                                                                         \
+    Promise<CexResult<T>> promise;                                            \
+    ArrayCexAm<T> am;                                                         \
+    am.state = this->state_;                                                  \
+    am.locals = {p.local_index};                                              \
+    am.expected = expected;                                                   \
+    am.desired = {desired};                                                   \
+    st.world->engine().send_cb(                                               \
+        st.team.world_pe(p.rank), std::move(am),                              \
+        [promise](std::vector<CexResult<T>> r) mutable {                      \
+          promise.set_value(r.empty() ? CexResult<T>{} : r[0]);               \
+        });                                                                   \
+    return promise.future();                                                  \
+  }                                                                           \
+  Future<std::vector<CexResult<T>>> batch_compare_exchange(                   \
+      std::span<const global_index> idxs, T expected,                         \
+      std::span<const T> desired) {                                           \
+    for (auto i : idxs) this->check_range(i, 1);                              \
+    return array_detail::dispatch_cex<T>(this->state_, this->view_start_,     \
+                                         expected, idxs, desired);            \
+  }                                                                           \
+  Future<std::vector<CexResult<T>>> batch_compare_exchange(                   \
+      std::span<const global_index> idxs, T expected, T desired) {            \
+    for (auto i : idxs) this->check_range(i, 1);                              \
+    const T des[1] = {desired};                                               \
+    return array_detail::dispatch_cex<T>(this->state_, this->view_start_,     \
+                                         expected, idxs,                      \
+                                         std::span<const T>(des, 1));         \
+  }
+
+/// UnsafeArray: every operation available, including direct RDMA that
+/// bypasses owner-side management entirely ("unchecked" paths in Fig. 2).
+template <typename T>
+class UnsafeArray : public ArrayBase<UnsafeArray<T>, T> {
+ public:
+  UnsafeArray() = default;
+
+  static UnsafeArray create(World& world, global_index len, Distribution dist,
+                            const Team* team = nullptr) {
+    const Team& t = team != nullptr ? *team : world.team();
+    UnsafeArray out;
+    out.adopt(array_detail::create_state<T>(world, t, len, dist,
+                                            ArrayMode::kUnsafe));
+    return out;
+  }
+
+  LAMELLAR_DEFINE_ALL_ELEMENT_OPS()
+
+  /// Raw local slab access.  UNSAFE: remote PEs may write concurrently.
+  [[nodiscard]] std::span<T> unsafe_local_slice() {
+    auto [lo, hi] =
+        this->state_->local_view_range(this->view_start_, this->view_len_);
+    return this->state_->local_slab().subspan(lo, hi - lo);
+  }
+
+  /// Direct RDMA put into remote slabs, no owner-side management
+  /// ("unchecked").  UNSAFE.
+  void unsafe_put_direct(global_index start, std::span<const T> data) {
+    this->check_range(start, data.size());
+    auto ranges = array_detail::plan_ranges(
+        *this->state_, this->view_start_ + start, data.size());
+    ArrayState<T>& st = *this->state_;
+    const std::size_t region = st.data.arena_offset();
+    for (auto& r : ranges) {
+      st.world->lamellae().put(
+          st.team.world_pe(r.rank), region + r.local_start * sizeof(T),
+          std::as_bytes(std::span<const T>(data.data() + r.caller_offset,
+                                           r.len)));
+    }
+  }
+
+  /// Direct RDMA get from remote slabs.  UNSAFE.
+  std::vector<T> unsafe_get_direct(global_index start, std::size_t len) {
+    this->check_range(start, len);
+    auto ranges = array_detail::plan_ranges(*this->state_,
+                                            this->view_start_ + start, len);
+    ArrayState<T>& st = *this->state_;
+    const std::size_t region = st.data.arena_offset();
+    std::vector<T> out(len);
+    for (auto& r : ranges) {
+      st.world->lamellae().get(
+          st.team.world_pe(r.rank), region + r.local_start * sizeof(T),
+          std::as_writable_bytes(
+              std::span<T>(out.data() + r.caller_offset, r.len)));
+    }
+    return out;
+  }
+};
+
+/// ReadOnlyArray: loads only; direct RDMA get is safe because the data
+/// cannot change (paper Sec. III-F2); put does not exist.
+template <typename T>
+class ReadOnlyArray : public ArrayBase<ReadOnlyArray<T>, T> {
+ public:
+  ReadOnlyArray() = default;
+
+  Future<Unit> put(global_index, std::span<const T>) = delete;
+  void fill(T) = delete;
+
+  Future<T> load(global_index i) {
+    return this->single_fetch(OpCode::kLoad, i, T{});
+  }
+
+  Future<std::vector<T>> batch_load(std::span<const global_index> idxs) {
+    return this->batch(OpCode::kLoad, true, idxs, T{});
+  }
+
+  /// Direct RDMA get — safe: the underlying data is immutable.
+  std::vector<T> get_direct(global_index start, std::size_t len) {
+    this->check_range(start, len);
+    auto ranges = array_detail::plan_ranges(*this->state_,
+                                            this->view_start_ + start, len);
+    ArrayState<T>& st = *this->state_;
+    const std::size_t region = st.data.arena_offset();
+    std::vector<T> out(len);
+    for (auto& r : ranges) {
+      st.world->lamellae().get(
+          st.team.world_pe(r.rank), region + r.local_start * sizeof(T),
+          std::as_writable_bytes(
+              std::span<T>(out.data() + r.caller_offset, r.len)));
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::span<const T> read_local_slice() const {
+    auto [lo, hi] =
+        this->state_->local_view_range(this->view_start_, this->view_len_);
+    return std::span<const T>(this->state_->local_slab())
+        .subspan(lo, hi - lo);
+  }
+};
+
+/// AtomicArray: every element access is atomic — natively when T supports
+/// lock-free atomics (NativeAtomicArray), otherwise through a 1-byte mutex
+/// per element (GenericAtomicArray).
+template <typename T>
+class AtomicArray : public ArrayBase<AtomicArray<T>, T> {
+ public:
+  AtomicArray() = default;
+
+  static AtomicArray create(World& world, global_index len, Distribution dist,
+                            const Team* team = nullptr) {
+    const Team& t = team != nullptr ? *team : world.team();
+    AtomicArray out;
+    out.adopt(array_detail::create_state<T>(world, t, len, dist,
+                                            kNativeAtomicCapable<T>
+                                                ? ArrayMode::kAtomicNative
+                                                : ArrayMode::kAtomicGeneric));
+    return out;
+  }
+
+  /// True when element atomicity is provided by hardware atomics.
+  [[nodiscard]] bool is_native() const {
+    return this->state_->mode == ArrayMode::kAtomicNative;
+  }
+
+  LAMELLAR_DEFINE_ALL_ELEMENT_OPS()
+
+  /// Atomic load of a local element (no raw slab access on AtomicArray).
+  [[nodiscard]] T load_local(std::size_t local_index) const {
+    return array_detail::read_one<T>(*this->state_, local_index);
+  }
+};
+
+/// LocalLockArray: each PE's slab is guarded by one readers-writer lock.
+template <typename T>
+class LocalLockArray : public ArrayBase<LocalLockArray<T>, T> {
+ public:
+  LocalLockArray() = default;
+
+  static LocalLockArray create(World& world, global_index len,
+                               Distribution dist,
+                               const Team* team = nullptr) {
+    const Team& t = team != nullptr ? *team : world.team();
+    LocalLockArray out;
+    out.adopt(array_detail::create_state<T>(world, t, len, dist,
+                                            ArrayMode::kLocalLock));
+    return out;
+  }
+
+  LAMELLAR_DEFINE_ALL_ELEMENT_OPS()
+
+  /// RAII shared (read) access to the local slab.
+  class ReadGuard {
+   public:
+    ReadGuard(std::shared_mutex& mu, std::span<const T> data)
+        : lock_(mu), data_(data) {}
+    [[nodiscard]] std::span<const T> data() const { return data_; }
+
+   private:
+    std::shared_lock<std::shared_mutex> lock_;
+    std::span<const T> data_;
+  };
+
+  /// RAII exclusive (write) access to the local slab.
+  class WriteGuard {
+   public:
+    WriteGuard(std::shared_mutex& mu, std::span<T> data)
+        : lock_(mu), data_(data) {}
+    [[nodiscard]] std::span<T> data() const { return data_; }
+
+   private:
+    std::unique_lock<std::shared_mutex> lock_;
+    std::span<T> data_;
+  };
+
+  [[nodiscard]] ReadGuard read_local_data() const {
+    auto [lo, hi] =
+        this->state_->local_view_range(this->view_start_, this->view_len_);
+    return ReadGuard(*this->state_->local_lock,
+                     std::span<const T>(this->state_->local_slab())
+                         .subspan(lo, hi - lo));
+  }
+
+  [[nodiscard]] WriteGuard write_local_data() {
+    auto [lo, hi] =
+        this->state_->local_view_range(this->view_start_, this->view_len_);
+    return WriteGuard(*this->state_->local_lock,
+                      this->state_->local_slab().subspan(lo, hi - lo));
+  }
+};
+
+#undef LAMELLAR_DEFINE_ALL_ELEMENT_OPS
+#undef LAMELLAR_DEFINE_ELEMENT_OP
+
+// ---- conversions ------------------------------------------------------------
+
+template <typename Derived, typename T>
+UnsafeArray<T> ArrayBase<Derived, T>::into_unsafe() && {
+  return convert_to<UnsafeArray<T>>(ArrayMode::kUnsafe, "into_unsafe");
+}
+
+template <typename Derived, typename T>
+ReadOnlyArray<T> ArrayBase<Derived, T>::into_read_only() && {
+  return convert_to<ReadOnlyArray<T>>(ArrayMode::kReadOnly, "into_read_only");
+}
+
+template <typename Derived, typename T>
+AtomicArray<T> ArrayBase<Derived, T>::into_atomic() && {
+  return convert_to<AtomicArray<T>>(kNativeAtomicCapable<T>
+                                        ? ArrayMode::kAtomicNative
+                                        : ArrayMode::kAtomicGeneric,
+                                    "into_atomic");
+}
+
+template <typename Derived, typename T>
+LocalLockArray<T> ArrayBase<Derived, T>::into_local_lock() && {
+  return convert_to<LocalLockArray<T>>(ArrayMode::kLocalLock,
+                                       "into_local_lock");
+}
+
+}  // namespace lamellar

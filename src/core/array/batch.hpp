@@ -1,0 +1,300 @@
+// Batch dispatch for array element operations (paper Sec. III-F3).
+//
+// The runtime "calculates the correct PEs and offsets for each array index,
+// batching operations by destination PE within a single message", splitting
+// batches at the configured op limit (default 10,000, the value the paper's
+// experiments use).  Fetch results are scattered back into caller order.
+// Local chunks are applied directly (owner == caller), remote chunks travel
+// as ArrayOpAm / ArrayCexAm.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "core/array/array_ams.hpp"
+
+namespace lamellar {
+namespace array_detail {
+
+/// One destination-bound chunk: local indices + operand slice + original
+/// caller positions (for fetch scatter).
+struct ChunkPlan {
+  std::size_t rank = 0;
+  std::vector<std::uint64_t> locals;
+  std::vector<std::size_t> positions;
+};
+
+/// Group indices by owner and split at the batch limit.
+template <typename T>
+std::vector<ChunkPlan> plan_chunks(const ArrayState<T>& st,
+                                   std::span<const global_index> idxs,
+                                   std::size_t view_start,
+                                   std::size_t batch_limit) {
+  std::vector<std::vector<std::uint64_t>> locals_by_rank(st.map.num_ranks());
+  std::vector<std::vector<std::size_t>> pos_by_rank(st.map.num_ranks());
+  for (std::size_t i = 0; i < idxs.size(); ++i) {
+    const Placement p = st.map.place(view_start + idxs[i]);
+    locals_by_rank[p.rank].push_back(p.local_index);
+    pos_by_rank[p.rank].push_back(i);
+  }
+  std::vector<ChunkPlan> chunks;
+  for (std::size_t r = 0; r < locals_by_rank.size(); ++r) {
+    auto& locals = locals_by_rank[r];
+    auto& positions = pos_by_rank[r];
+    for (std::size_t off = 0; off < locals.size(); off += batch_limit) {
+      const std::size_t n = std::min(batch_limit, locals.size() - off);
+      ChunkPlan chunk;
+      chunk.rank = r;
+      chunk.locals.assign(locals.begin() + off, locals.begin() + off + n);
+      chunk.positions.assign(positions.begin() + off,
+                             positions.begin() + off + n);
+      chunks.push_back(std::move(chunk));
+    }
+  }
+  return chunks;
+}
+
+template <typename R>
+struct BatchGather {
+  std::mutex mu;
+  std::vector<R> out;
+  std::size_t remaining = 0;
+  Promise<std::vector<R>> promise;
+};
+
+/// Completion-only gather (no results): counts chunks into a Future<Unit>.
+struct UnitGather {
+  std::mutex mu;
+  std::size_t remaining = 0;
+  Promise<Unit> promise;
+};
+
+inline void finish_unit(const std::shared_ptr<UnitGather>& gather) {
+  std::unique_lock lock(gather->mu);
+  if (--gather->remaining == 0) {
+    lock.unlock();
+    gather->promise.set_value(Unit{});
+  }
+}
+
+/// Scatter one chunk's results into the gather at the chunk's positions and
+/// complete the promise on the last chunk.
+template <typename R>
+void absorb_chunk(const std::shared_ptr<BatchGather<R>>& gather,
+                  const std::vector<std::size_t>& positions,
+                  std::vector<R>&& results, bool fetch) {
+  std::unique_lock lock(gather->mu);
+  if (fetch) {
+    for (std::size_t j = 0; j < positions.size(); ++j) {
+      gather->out[positions[j]] = std::move(results[j]);
+    }
+  }
+  if (--gather->remaining == 0) {
+    auto out = std::move(gather->out);
+    lock.unlock();
+    gather->promise.set_value(std::move(out));
+  }
+}
+
+/// Dispatch an element-op batch.  `vals` has size idxs.size() (one-to-one)
+/// or 1 (many-indices-one-value).  Returns fetch results in caller order
+/// (empty vector for non-fetch ops, completing when all chunks applied).
+template <typename T>
+Future<std::vector<T>> dispatch_op(const Darc<ArrayState<T>>& state,
+                                   std::size_t view_start, OpCode op,
+                                   bool fetch,
+                                   std::span<const global_index> idxs,
+                                   std::span<const T> vals) {
+  ArrayState<T>& st = *state;
+  const PairMode pair = vals.size() <= 1 && idxs.size() != 1
+                            ? PairMode::kManyIdxOneVal
+                            : PairMode::kOneToOne;
+  auto chunks =
+      plan_chunks(st, idxs, view_start, st.world->config().batch_op_limit);
+  auto gather = std::make_shared<BatchGather<T>>();
+  gather->remaining = chunks.size();
+  if (fetch) gather->out.resize(idxs.size());
+  if (chunks.empty()) {
+    gather->promise.set_value({});
+    return gather->promise.future();
+  }
+  auto future = gather->promise.future();
+
+  const std::size_t my_rank = st.my_rank();
+  for (auto& chunk : chunks) {
+    std::vector<T> chunk_vals;
+    if (pair == PairMode::kManyIdxOneVal) {
+      if (!vals.empty()) chunk_vals.push_back(vals[0]);
+    } else {
+      chunk_vals.reserve(chunk.positions.size());
+      for (auto p : chunk.positions) chunk_vals.push_back(vals[p]);
+    }
+    if (chunk.rank == my_rank) {
+      auto results = apply_batch<T>(st, op, fetch, pair, chunk.locals,
+                                    chunk_vals);
+      absorb_chunk(gather, chunk.positions, std::move(results), fetch);
+      continue;
+    }
+    ArrayOpAm<T> am;
+    am.state = state;
+    am.op = op;
+    am.fetch = fetch ? 1 : 0;
+    am.pair = pair;
+    am.locals = std::move(chunk.locals);
+    am.vals = std::move(chunk_vals);
+    st.world->engine().send_cb(
+        st.team.world_pe(chunk.rank), std::move(am),
+        [gather, positions = std::move(chunk.positions),
+         fetch](std::vector<T> results) mutable {
+          absorb_chunk(gather, positions, std::move(results), fetch);
+        });
+  }
+  return future;
+}
+
+/// Dispatch the One Index - Many Values form: every operand applies (in
+/// order) to the single element at `idx`.
+template <typename T>
+Future<std::vector<T>> dispatch_op_one_idx(const Darc<ArrayState<T>>& state,
+                                           std::size_t view_start, OpCode op,
+                                           bool fetch, global_index idx,
+                                           std::span<const T> vals) {
+  ArrayState<T>& st = *state;
+  const Placement p = st.map.place(view_start + idx);
+  const std::size_t limit = st.world->config().batch_op_limit;
+  auto gather = std::make_shared<BatchGather<T>>();
+  gather->remaining = ceil_div(std::max<std::size_t>(vals.size(), 1), limit);
+  if (fetch) gather->out.resize(vals.size());
+  if (vals.empty()) {
+    gather->promise.set_value({});
+    return gather->promise.future();
+  }
+  auto future = gather->promise.future();
+  const std::size_t my_rank = st.my_rank();
+  std::vector<std::uint64_t> one_local{p.local_index};
+  for (std::size_t off = 0; off < vals.size(); off += limit) {
+    const std::size_t n = std::min(limit, vals.size() - off);
+    std::vector<std::size_t> positions(n);
+    for (std::size_t j = 0; j < n; ++j) positions[j] = off + j;
+    std::vector<T> chunk_vals(vals.begin() + off, vals.begin() + off + n);
+    if (p.rank == my_rank) {
+      auto results = apply_batch<T>(st, op, fetch, PairMode::kOneIdxManyVals,
+                                    one_local, chunk_vals);
+      absorb_chunk(gather, positions, std::move(results), fetch);
+      continue;
+    }
+    ArrayOpAm<T> am;
+    am.state = state;
+    am.op = op;
+    am.fetch = fetch ? 1 : 0;
+    am.pair = PairMode::kOneIdxManyVals;
+    am.locals = one_local;
+    am.vals = std::move(chunk_vals);
+    st.world->engine().send_cb(
+        st.team.world_pe(p.rank), std::move(am),
+        [gather, positions = std::move(positions),
+         fetch](std::vector<T> results) mutable {
+          absorb_chunk(gather, positions, std::move(results), fetch);
+        });
+  }
+  return future;
+}
+
+/// Dispatch a compare-exchange batch (one shared `expected`, per-index
+/// `desired` or one shared desired value).
+template <typename T>
+Future<std::vector<CexResult<T>>> dispatch_cex(
+    const Darc<ArrayState<T>>& state, std::size_t view_start, T expected,
+    std::span<const global_index> idxs, std::span<const T> desired) {
+  ArrayState<T>& st = *state;
+  auto chunks =
+      plan_chunks(st, idxs, view_start, st.world->config().batch_op_limit);
+  auto gather = std::make_shared<BatchGather<CexResult<T>>>();
+  gather->remaining = chunks.size();
+  gather->out.resize(idxs.size());
+  if (chunks.empty()) {
+    gather->promise.set_value({});
+    return gather->promise.future();
+  }
+  auto future = gather->promise.future();
+
+  const bool shared_desired = desired.size() == 1 && idxs.size() != 1;
+  const std::size_t my_rank = st.my_rank();
+  for (auto& chunk : chunks) {
+    std::vector<T> chunk_desired;
+    if (shared_desired) {
+      chunk_desired.push_back(desired[0]);
+    } else {
+      chunk_desired.reserve(chunk.positions.size());
+      for (auto p : chunk.positions) chunk_desired.push_back(desired[p]);
+    }
+    if (chunk.rank == my_rank) {
+      std::vector<CexResult<T>> results;
+      results.reserve(chunk.locals.size());
+      for (std::size_t j = 0; j < chunk.locals.size(); ++j) {
+        const T want = shared_desired ? chunk_desired[0] : chunk_desired[j];
+        results.push_back(apply_cex<T>(st, chunk.locals[j], expected, want));
+      }
+      absorb_chunk(gather, chunk.positions, std::move(results), true);
+      continue;
+    }
+    ArrayCexAm<T> am;
+    am.state = state;
+    am.locals = std::move(chunk.locals);
+    am.expected = expected;
+    am.desired = std::move(chunk_desired);
+    st.world->engine().send_cb(
+        st.team.world_pe(chunk.rank), std::move(am),
+        [gather, positions = std::move(chunk.positions)](
+            std::vector<CexResult<T>> results) mutable {
+          absorb_chunk(gather, positions, std::move(results), true);
+        });
+  }
+  return future;
+}
+
+/// Contiguous owner ranges of the global span [start, start+len), in order.
+struct OwnedRange {
+  std::size_t rank;
+  std::uint64_t local_start;
+  std::size_t len;
+  std::size_t caller_offset;  ///< offset within the caller's buffer
+};
+
+template <typename T>
+std::vector<OwnedRange> plan_ranges(const ArrayState<T>& st,
+                                    global_index start, std::size_t len) {
+  std::vector<OwnedRange> ranges;
+  if (len == 0) return ranges;
+  if (st.map.dist() == Distribution::kBlock) {
+    std::size_t off = 0;
+    while (off < len) {
+      const Placement p = st.map.place(start + off);
+      const std::size_t owner_room =
+          st.map.local_len(p.rank) - p.local_index;
+      const std::size_t n = std::min(owner_room, len - off);
+      ranges.push_back(OwnedRange{p.rank, p.local_index, n, off});
+      off += n;
+    }
+    return ranges;
+  }
+  // Cyclic: each owner's elements are strided; emit per-element ranges
+  // grouped by owner (ascending caller offset within each group).
+  std::vector<std::vector<std::pair<std::uint64_t, std::size_t>>> by_rank(
+      st.map.num_ranks());
+  for (std::size_t off = 0; off < len; ++off) {
+    const Placement p = st.map.place(start + off);
+    by_rank[p.rank].emplace_back(p.local_index, off);
+  }
+  for (std::size_t r = 0; r < by_rank.size(); ++r) {
+    for (auto& [local, off] : by_rank[r]) {
+      ranges.push_back(OwnedRange{r, local, 1, off});
+    }
+  }
+  return ranges;
+}
+
+}  // namespace array_detail
+}  // namespace lamellar

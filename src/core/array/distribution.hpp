@@ -1,0 +1,81 @@
+// Data distributions for LamellarArrays (paper Sec. III-F): Block or Cyclic
+// layouts over the PEs of a team, with 0-based global indexing and
+// runtime-computed owner/offset math (unlike raw memory regions, which make
+// the user compute PE-specific offsets).
+#pragma once
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace lamellar {
+
+enum class Distribution : std::uint8_t {
+  kBlock,   ///< contiguous chunks of ceil(len/npes) elements per PE
+  kCyclic,  ///< element i lives on PE (i % npes)
+};
+
+struct Placement {
+  std::size_t rank;         ///< owning team rank
+  std::size_t local_index;  ///< index within the owner's slab
+};
+
+class DistributionMap {
+ public:
+  DistributionMap() = default;
+  DistributionMap(Distribution dist, global_index global_len,
+                  std::size_t num_ranks)
+      : dist_(dist),
+        global_len_(global_len),
+        num_ranks_(num_ranks),
+        per_rank_(num_ranks == 0 ? 0 : ceil_div(global_len, num_ranks)) {}
+
+  [[nodiscard]] Distribution dist() const { return dist_; }
+  [[nodiscard]] global_index global_len() const { return global_len_; }
+  [[nodiscard]] std::size_t num_ranks() const { return num_ranks_; }
+
+  /// Slab capacity allocated on every rank (the last block rank may use
+  /// fewer elements).
+  [[nodiscard]] std::size_t per_rank_capacity() const { return per_rank_; }
+
+  /// Number of elements actually resident on `rank`.
+  [[nodiscard]] std::size_t local_len(std::size_t rank) const {
+    if (global_len_ == 0) return 0;
+    if (dist_ == Distribution::kBlock) {
+      const global_index start = rank * per_rank_;
+      if (start >= global_len_) return 0;
+      return std::min(per_rank_, global_len_ - start);
+    }
+    // Cyclic: ranks < (len % n) get one extra.
+    const std::size_t base = global_len_ / num_ranks_;
+    const std::size_t extra = rank < (global_len_ % num_ranks_) ? 1 : 0;
+    return base + extra;
+  }
+
+  /// Owner rank and local slot of global index `i`.
+  [[nodiscard]] Placement place(global_index i) const {
+    if (i >= global_len_) throw_bounds("array index", i, global_len_);
+    if (dist_ == Distribution::kBlock) {
+      return {static_cast<std::size_t>(i / per_rank_), i % per_rank_};
+    }
+    return {static_cast<std::size_t>(i % num_ranks_), i / num_ranks_};
+  }
+
+  /// Global index of (rank, local slot) — the inverse of place().
+  [[nodiscard]] global_index global_of(std::size_t rank,
+                                       std::size_t local) const {
+    if (dist_ == Distribution::kBlock) {
+      return rank * per_rank_ + local;
+    }
+    return local * num_ranks_ + rank;
+  }
+
+ private:
+  Distribution dist_ = Distribution::kBlock;
+  global_index global_len_ = 0;
+  std::size_t num_ranks_ = 1;
+  std::size_t per_rank_ = 0;
+};
+
+}  // namespace lamellar

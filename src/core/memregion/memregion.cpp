@@ -1,0 +1,22 @@
+#include "core/memregion/onesided_region.hpp"
+#include "core/memregion/shared_region.hpp"
+
+namespace lamellar::detail {
+
+OneSidedProxy::~OneSidedProxy() {
+  if (world == nullptr || weight == 0) return;
+  if (world->my_pe() == origin) {
+    world->onesided_registry().return_weight(key, weight, world->lamellae());
+  } else {
+    world->exec_am_pe(origin, OneSidedReleaseAm{key, weight});
+  }
+}
+
+void OneSidedReleaseAm::exec(AmContext& ctx) {
+  ctx.world().onesided_registry().return_weight(key, weight,
+                                                ctx.world().lamellae());
+}
+
+}  // namespace lamellar::detail
+
+LAMELLAR_REGISTER_AM(lamellar::detail::OneSidedReleaseAm);

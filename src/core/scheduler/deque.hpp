@@ -1,0 +1,134 @@
+// Chase–Lev work-stealing deque (dynamic circular array variant).
+//
+// The owner thread pushes/pops at the bottom; thieves steal from the top.
+// This is the classic algorithm from "Dynamic Circular Work-Stealing Deque"
+// (Chase & Lev, SPAA'05) with the C11 memory-ordering treatment of
+// Lê et al. (PPoPP'13).  Items are raw pointers; the pool stores heap-
+// allocated tasks and retains ownership semantics around the deque.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace lamellar {
+
+template <typename T>
+class WorkStealingDeque {
+  struct RingArray {
+    explicit RingArray(std::size_t cap)
+        : capacity(cap), mask(cap - 1), slots(new std::atomic<T*>[cap]) {}
+    std::size_t capacity;
+    std::size_t mask;
+    std::unique_ptr<std::atomic<T*>[]> slots;
+
+    T* get(std::size_t i) const {
+      return slots[i & mask].load(std::memory_order_relaxed);
+    }
+    void put(std::size_t i, T* v) {
+      slots[i & mask].store(v, std::memory_order_relaxed);
+    }
+  };
+
+ public:
+  explicit WorkStealingDeque(std::size_t initial_capacity = 256)
+      : array_(new RingArray(initial_capacity)) {}
+
+  ~WorkStealingDeque() {
+    // Drain remaining items (owner context at destruction time).
+    T* item = nullptr;
+    while ((item = pop()) != nullptr) delete item;
+    delete array_.load(std::memory_order_relaxed);
+    for (auto* a : retired_) delete a;
+  }
+
+  WorkStealingDeque(const WorkStealingDeque&) = delete;
+  WorkStealingDeque& operator=(const WorkStealingDeque&) = delete;
+
+  /// Owner only: push a (heap-allocated) item.
+  void push(T* item) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    RingArray* a = array_.load(std::memory_order_relaxed);
+    if (b - t > static_cast<std::int64_t>(a->capacity) - 1) {
+      a = grow(a, t, b);
+    }
+    a->put(static_cast<std::size_t>(b), item);
+    std::atomic_thread_fence(std::memory_order_release);
+    bottom_.store(b + 1, std::memory_order_relaxed);
+  }
+
+  /// Owner only: pop the most recently pushed item (LIFO), or nullptr.
+  T* pop() {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    RingArray* a = array_.load(std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+    if (t > b) {
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    T* item = a->get(static_cast<std::size_t>(b));
+    if (t == b) {
+      // Last element: race against thieves.
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        item = nullptr;  // lost to a thief
+      }
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return item;
+  }
+
+  /// Any thread: steal the oldest item (FIFO), or nullptr.
+  T* steal() {
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_acquire);
+    if (t >= b) return nullptr;
+    RingArray* a = array_.load(std::memory_order_consume);
+    T* item = a->get(static_cast<std::size_t>(t));
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return nullptr;  // lost the race
+    }
+    return item;
+  }
+
+  [[nodiscard]] bool empty() const {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_relaxed);
+    return b <= t;
+  }
+
+  [[nodiscard]] std::size_t size_hint() const {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_relaxed);
+    return b > t ? static_cast<std::size_t>(b - t) : 0;
+  }
+
+ private:
+  RingArray* grow(RingArray* old, std::int64_t t, std::int64_t b) {
+    auto* bigger = new RingArray(old->capacity * 2);
+    for (std::int64_t i = t; i < b; ++i) {
+      bigger->put(static_cast<std::size_t>(i),
+                  old->get(static_cast<std::size_t>(i)));
+    }
+    array_.store(bigger, std::memory_order_release);
+    // Old arrays are retired, not freed: thieves may still hold a pointer.
+    retired_.push_back(old);
+    return bigger;
+  }
+
+  alignas(kCacheLine) std::atomic<std::int64_t> top_{0};
+  alignas(kCacheLine) std::atomic<std::int64_t> bottom_{0};
+  alignas(kCacheLine) std::atomic<RingArray*> array_;
+  std::vector<RingArray*> retired_;  // owner-only mutation (inside push)
+};
+
+}  // namespace lamellar

@@ -1,0 +1,2 @@
+// Futures are header-only templates; this file anchors the target.
+#include "core/scheduler/future.hpp"

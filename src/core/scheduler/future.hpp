@@ -1,0 +1,116 @@
+// Futures and promises for asynchronous runtime operations.
+//
+// The C++ analogue of the Rust futures the paper's APIs return: every AM
+// launch, array operation, and iterator drive yields a Future<T>.  Futures
+// are completed by runtime tasks (often on another PE's behalf) through the
+// paired Promise.  Blocking waits should go through World::block_on /
+// wait_all, which *help* execute pool tasks — Future::wait() itself is a
+// plain condition-variable wait for use on external threads.
+#pragma once
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace lamellar {
+
+/// Result type for operations that complete without a value.
+struct Unit {
+  template <class Archive>
+  void serialize(Archive&) {}
+};
+
+namespace detail {
+
+template <typename T>
+struct FutureState {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::optional<T> value;
+  bool ready = false;
+};
+
+}  // namespace detail
+
+template <typename T>
+class Future;
+
+template <typename T>
+class Promise {
+ public:
+  Promise() : state_(std::make_shared<detail::FutureState<T>>()) {}
+
+  void set_value(T v) {
+    {
+      std::lock_guard lock(state_->mu);
+      if (state_->ready) throw Error("Promise: value set twice");
+      state_->value.emplace(std::move(v));
+      state_->ready = true;
+    }
+    state_->cv.notify_all();
+  }
+
+  [[nodiscard]] Future<T> future() const { return Future<T>(state_); }
+
+ private:
+  std::shared_ptr<detail::FutureState<T>> state_;
+};
+
+template <typename T>
+class Future {
+ public:
+  Future() = default;
+
+  [[nodiscard]] bool valid() const { return state_ != nullptr; }
+
+  [[nodiscard]] bool ready() const {
+    std::lock_guard lock(state_->mu);
+    return state_->ready;
+  }
+
+  /// Blocking wait (condition variable).  Prefer World::block_on inside
+  /// runtime threads; this is safe only where the completer is guaranteed
+  /// to run on another thread.
+  void wait() const {
+    std::unique_lock lock(state_->mu);
+    state_->cv.wait(lock, [&] { return state_->ready; });
+  }
+
+  /// Take the value (wait() first if necessary).  One-shot.
+  T get() {
+    std::unique_lock lock(state_->mu);
+    state_->cv.wait(lock, [&] { return state_->ready; });
+    T v = std::move(*state_->value);
+    state_->value.reset();
+    return v;
+  }
+
+  /// Non-blocking: take the value if ready.
+  std::optional<T> try_take() {
+    std::lock_guard lock(state_->mu);
+    if (!state_->ready || !state_->value.has_value()) return std::nullopt;
+    std::optional<T> v = std::move(state_->value);
+    state_->value.reset();
+    return v;
+  }
+
+ private:
+  friend class Promise<T>;
+  explicit Future(std::shared_ptr<detail::FutureState<T>> s)
+      : state_(std::move(s)) {}
+  std::shared_ptr<detail::FutureState<T>> state_;
+};
+
+/// Make an already-completed future (local fast paths).
+template <typename T>
+Future<T> ready_future(T v) {
+  Promise<T> p;
+  p.set_value(std::move(v));
+  return p.future();
+}
+
+}  // namespace lamellar

@@ -1,0 +1,10 @@
+// A runtime task: a move-only unit of work executed by the thread pool.
+#pragma once
+
+#include "common/unique_function.hpp"
+
+namespace lamellar {
+
+using Task = UniqueFunction<void()>;
+
+}  // namespace lamellar

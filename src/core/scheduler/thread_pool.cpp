@@ -1,0 +1,117 @@
+#include "core/scheduler/thread_pool.hpp"
+
+#include <chrono>
+
+namespace lamellar {
+
+thread_local ThreadPool* ThreadPool::tl_pool = nullptr;
+thread_local std::size_t ThreadPool::tl_worker_index = 0;
+
+ThreadPool::ThreadPool(std::size_t num_workers, ProgressHook progress)
+    : progress_(std::move(progress)) {
+  if (num_workers == 0) num_workers = 1;
+  workers_.reserve(num_workers);
+  for (std::size_t i = 0; i < num_workers; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  for (std::size_t i = 0; i < num_workers; ++i) {
+    workers_[i]->thread = std::thread([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::spawn(Task task) {
+  pending_.fetch_add(1, std::memory_order_acq_rel);
+  auto* heap_task = new Task(std::move(task));
+  if (tl_pool == this) {
+    workers_[tl_worker_index]->deque.push(heap_task);
+  } else {
+    injection_.push(heap_task);
+  }
+  notify_one();
+}
+
+void ThreadPool::notify_one() {
+  std::lock_guard lock(sleep_mu_);
+  sleep_cv_.notify_one();
+}
+
+Task* ThreadPool::find_task(std::size_t self_index) {
+  // 1. Own deque (LIFO for locality).
+  if (self_index != static_cast<std::size_t>(-1)) {
+    if (Task* t = workers_[self_index]->deque.pop()) return t;
+  }
+  // 2. Injection queue.
+  if (auto t = injection_.try_pop()) return *t;
+  // 3. Steal (FIFO) from siblings.
+  const std::size_t n = workers_.size();
+  const std::size_t start = self_index == static_cast<std::size_t>(-1)
+                                ? 0
+                                : (self_index + 1) % n;
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t victim = (start + k) % n;
+    if (victim == self_index) continue;
+    if (Task* t = workers_[victim]->deque.steal()) return t;
+  }
+  return nullptr;
+}
+
+void ThreadPool::run(Task* task) {
+  (*task)();
+  delete task;
+  pending_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+bool ThreadPool::try_run_one() {
+  const std::size_t self =
+      tl_pool == this ? tl_worker_index : static_cast<std::size_t>(-1);
+  if (Task* t = find_task(self)) {
+    run(t);
+    return true;
+  }
+  if (progress_) progress_();
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t index) {
+  tl_pool = this;
+  tl_worker_index = index;
+  std::size_t idle_spins = 0;
+  while (!stopping_.load(std::memory_order_acquire)) {
+    if (Task* t = find_task(index)) {
+      run(t);
+      idle_spins = 0;
+      continue;
+    }
+    if (progress_) progress_();
+    if (++idle_spins < 64) {
+      std::this_thread::yield();
+      continue;
+    }
+    // Park with a timeout so the progress hook keeps polling the inbox.
+    std::unique_lock lock(sleep_mu_);
+    sleep_cv_.wait_for(lock, std::chrono::microseconds(200));
+    idle_spins = 0;
+  }
+  tl_pool = nullptr;
+}
+
+void ThreadPool::shutdown() {
+  if (stopping_.exchange(true, std::memory_order_acq_rel)) return;
+  {
+    std::lock_guard lock(sleep_mu_);
+    sleep_cv_.notify_all();
+  }
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+  // Drain anything left in the injection queue (tasks in deques are freed by
+  // the deque destructor).
+  while (auto t = injection_.try_pop()) {
+    delete *t;
+    pending_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+}
+
+}  // namespace lamellar

@@ -1,0 +1,87 @@
+// The per-PE work-stealing thread pool (paper Sec. III-B).
+//
+// Each PE owns one pool.  Workers run tasks from their own Chase–Lev deque,
+// fall back to the shared injection queue, steal from siblings, and — when
+// idle — invoke a progress hook that drains the PE's Lamellae inbox (this is
+// how communication tasks interleave with computation, mirroring the paper's
+// description of the thread pool executing both AMs and Lamellae-produced
+// communication tasks).
+//
+// External threads (the PE "main" thread, or another PE delivering work) can
+// also execute tasks cooperatively via try_run_one(): blocking operations
+// (`block_on`, `wait_all`) *help* instead of parking, so a configuration
+// with a single worker thread cannot deadlock.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/mpmc_queue.hpp"
+#include "common/types.hpp"
+#include "core/scheduler/deque.hpp"
+#include "core/scheduler/task.hpp"
+
+namespace lamellar {
+
+class ThreadPool {
+ public:
+  using ProgressHook = std::function<void()>;
+
+  /// Start `num_workers` threads.  `progress` (may be empty) is invoked by
+  /// idle workers and by try_run_one when no task is available.
+  explicit ThreadPool(std::size_t num_workers, ProgressHook progress = {});
+
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Submit a task from any thread.  Worker threads push to their own deque;
+  /// external threads use the injection queue.
+  void spawn(Task task);
+
+  /// Execute one pending task on the calling thread if available.  Returns
+  /// true when a task ran.  Used by helping waits.
+  bool try_run_one();
+
+  /// Number of tasks submitted but not yet finished executing.
+  [[nodiscard]] std::size_t pending() const {
+    return pending_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] std::size_t num_workers() const { return workers_.size(); }
+
+  /// Stop all workers after draining pending work.
+  void shutdown();
+
+ private:
+  struct Worker {
+    WorkStealingDeque<Task> deque;
+    std::thread thread;
+  };
+
+  void worker_loop(std::size_t index);
+  Task* find_task(std::size_t self_index);
+  void run(Task* task);
+  void notify_one();
+
+  // Index of the calling worker in workers_, or npos for external threads.
+  static thread_local ThreadPool* tl_pool;
+  static thread_local std::size_t tl_worker_index;
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  MpmcQueue<Task*> injection_;
+  ProgressHook progress_;
+  std::atomic<std::size_t> pending_{0};
+  std::atomic<bool> stopping_{false};
+
+  std::mutex sleep_mu_;
+  std::condition_variable sleep_cv_;
+};
+
+}  // namespace lamellar

@@ -1,0 +1,98 @@
+// Teams: subsets of the world's PEs (paper Sec. III nomenclature).
+//
+// A team maps team ranks to world PE ids, provides team-scoped barriers, and
+// owns the id space for distributed objects (Darcs, arrays, regions) created
+// on it.  Team creation is collective; sub-teams are supported by splitting
+// an existing team's members.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+#include "fabric/barrier.hpp"
+
+namespace lamellar {
+
+class World;
+
+/// State shared by every PE's handle to the same team.
+struct TeamShared {
+  TeamShared(std::uint64_t uid_in, std::vector<pe_id> members_in,
+             std::size_t world_pes)
+      : uid(uid_in),
+        members(std::move(members_in)),
+        barrier(members.size()),
+        darc_seq(world_pes) {
+    for (auto& c : darc_seq) c.store(0);
+  }
+
+  std::uint64_t uid;
+  std::vector<pe_id> members;  ///< world PE ids, sorted ascending
+  SenseBarrier barrier;
+  /// Per-world-PE sequence counters for collective object ids; members
+  /// advance in lockstep because collective creation is SPMD-ordered.
+  std::vector<std::atomic<std::uint64_t>> darc_seq;
+};
+
+class Team {
+ public:
+  Team() = default;
+  Team(World* world, std::shared_ptr<TeamShared> shared)
+      : world_(world), shared_(std::move(shared)) {}
+
+  [[nodiscard]] bool valid() const { return shared_ != nullptr; }
+  [[nodiscard]] std::size_t size() const { return shared_->members.size(); }
+  [[nodiscard]] std::uint64_t uid() const { return shared_->uid; }
+  [[nodiscard]] const std::vector<pe_id>& members() const {
+    return shared_->members;
+  }
+
+  /// World PE id of team rank `rank`.
+  [[nodiscard]] pe_id world_pe(std::size_t rank) const {
+    if (rank >= shared_->members.size()) {
+      throw_bounds("Team::world_pe", rank, shared_->members.size());
+    }
+    return shared_->members[rank];
+  }
+
+  /// Team rank of a world PE, if a member.
+  [[nodiscard]] std::optional<std::size_t> rank_of(pe_id world_pe) const {
+    const auto& m = shared_->members;
+    auto it = std::lower_bound(m.begin(), m.end(), world_pe);
+    if (it == m.end() || *it != world_pe) return std::nullopt;
+    return static_cast<std::size_t>(it - m.begin());
+  }
+
+  [[nodiscard]] bool contains(pe_id world_pe) const {
+    return rank_of(world_pe).has_value();
+  }
+
+  /// The calling PE's rank on this team (throws if not a member).
+  [[nodiscard]] std::size_t my_rank() const;
+
+  /// Root (lowest world PE) of the team — owner of Darc lifetime tracking.
+  [[nodiscard]] pe_id root_pe() const { return shared_->members.front(); }
+
+  /// Team-scoped barrier: blocks the calling thread until all members
+  /// arrive (collective, member PEs only).
+  void barrier();
+
+  /// Allocate the next collective object id, consistent across members.
+  [[nodiscard]] darc_id next_object_id(pe_id my_world_pe) const {
+    const std::uint64_t seq = shared_->darc_seq[my_world_pe].fetch_add(1);
+    return (shared_->uid << 24) | (seq & 0xFFFFFF);
+  }
+
+  [[nodiscard]] World& world() const { return *world_; }
+
+ private:
+  World* world_ = nullptr;
+  std::shared_ptr<TeamShared> shared_;
+};
+
+}  // namespace lamellar

@@ -1,0 +1,242 @@
+#include "core/world/world.hpp"
+
+#include <algorithm>
+#include <thread>
+
+namespace lamellar {
+
+// ---- AmContext accessors that need World's definition ----
+
+pe_id AmContext::current_pe() const { return world_.my_pe(); }
+std::size_t AmContext::num_pes() const { return world_.num_pes(); }
+
+// ---- Darc deserialization context ----
+
+DarcManager& current_darc_manager() {
+  World* w = current_world();
+  if (w == nullptr) {
+    throw Error("Darc deserialized outside a runtime context");
+  }
+  return w->darc_manager();
+}
+
+// ---- Team ----
+
+std::size_t Team::my_rank() const {
+  auto r = rank_of(world_->my_pe());
+  if (!r) throw Error("Team::my_rank: calling PE is not a member");
+  return *r;
+}
+
+void Team::barrier() {
+  // Flush so AMs staged before the barrier are in flight, then rendezvous.
+  world_->engine().flush();
+  shared_->barrier.arrive_and_wait(&world_->lamellae().clock(),
+                                   world_->lamellae().params().barrier_ns);
+}
+
+// ---- OneSidedRegistry ----
+
+std::uint64_t OneSidedRegistry::install_weighted(std::size_t offset,
+                                                 std::uint64_t weight) {
+  std::lock_guard lock(mu_);
+  const std::uint64_t key = next_key_++;
+  entries_.emplace(key, Entry{offset, weight});
+  return key;
+}
+
+void OneSidedRegistry::return_weight(std::uint64_t key, std::uint64_t weight,
+                                     Lamellae& lamellae) {
+  std::size_t offset = 0;
+  bool free_now = false;
+  {
+    std::lock_guard lock(mu_);
+    auto it = entries_.find(key);
+    if (it == entries_.end()) {
+      throw Error("OneSidedRegistry: weight returned to unknown region");
+    }
+    if (weight > it->second.weight) {
+      throw Error("OneSidedRegistry: weight overflow on return");
+    }
+    it->second.weight -= weight;
+    if (it->second.weight == 0) {
+      offset = it->second.offset;
+      free_now = true;
+      entries_.erase(it);
+    }
+  }
+  if (free_now) lamellae.free_onesided(offset);
+}
+
+std::size_t OneSidedRegistry::live() const {
+  std::lock_guard lock(mu_);
+  return entries_.size();
+}
+
+// ---- World ----
+
+World::World(WorldGroup& group, pe_id pe)
+    : group_(group), lamellae_(group.lamellae_group().endpoint(pe)) {
+  // The pool's idle hook needs the engine, which needs the pool: break the
+  // cycle with a deferred indirection.
+  auto engine_slot = std::make_shared<AmEngine*>(nullptr);
+  pool_ = std::make_unique<ThreadPool>(
+      group.config().threads_per_pe, [engine_slot] {
+        if (*engine_slot != nullptr) (*engine_slot)->progress();
+      });
+  engine_ = std::make_unique<AmEngine>(*lamellae_, *pool_, group.config());
+  *engine_slot = engine_.get();
+  engine_->bind_world(this);
+  darcs_ = std::make_unique<DarcManager>(*engine_);
+  onesided_ = std::make_unique<OneSidedRegistry>(*engine_);
+}
+
+const RuntimeConfig& World::config() const { return group_.config(); }
+
+void World::barrier() {
+  engine_->flush();
+  lamellae_->barrier();
+}
+
+Team World::create_team(std::vector<pe_id> members) {
+  std::sort(members.begin(), members.end());
+  const bool member =
+      std::binary_search(members.begin(), members.end(), my_pe());
+  Team result{};
+  if (member) {
+    auto shared = group_.rendezvous_team(my_pe(), std::move(members));
+    result = Team(this, shared);
+  }
+  barrier();  // collective over the world
+  return result;
+}
+
+Team World::split_block(std::size_t block) {
+  if (block == 0) throw Error("split_block: block must be positive");
+  std::vector<pe_id> mine;
+  const pe_id first = (my_pe() / block) * block;
+  for (pe_id p = first; p < std::min<pe_id>(first + block, num_pes()); ++p) {
+    mine.push_back(p);
+  }
+  // Every PE calls rendezvous with its own block; blocks rendezvous
+  // independently keyed by their member sets via per-PE sequencing.
+  auto shared = group_.rendezvous_team(my_pe(), std::move(mine));
+  barrier();
+  return Team(this, shared);
+}
+
+void World::finalize() {
+  while (!group_.quiesce_round(my_pe())) {
+  }
+  barrier();
+}
+
+// ---- WorldGroup ----
+
+namespace {
+ShmemLamellaeGroup::Layout layout_from(const RuntimeConfig& cfg) {
+  ShmemLamellaeGroup::Layout layout;
+  layout.symmetric_bytes = cfg.symmetric_heap_bytes;
+  layout.onesided_bytes = cfg.onesided_heap_bytes;
+  return layout;
+}
+}  // namespace
+
+WorldGroup::WorldGroup(std::size_t num_pes, RuntimeConfig cfg,
+                       PerfParams params, PeMapping mapping, bool virtual_time)
+    : cfg_(cfg),
+      lamellae_group_(num_pes, layout_from(cfg), params, mapping,
+                      virtual_time),
+      team_seq_(num_pes, 0) {
+  worlds_.reserve(num_pes);
+  for (pe_id pe = 0; pe < num_pes; ++pe) {
+    worlds_.push_back(std::make_unique<World>(*this, pe));
+  }
+  // Each world starts with the all-PEs team.
+  std::vector<pe_id> all(num_pes);
+  for (pe_id pe = 0; pe < num_pes; ++pe) all[pe] = pe;
+  auto shared = std::make_shared<TeamShared>(0, all, num_pes);
+  for (pe_id pe = 0; pe < num_pes; ++pe) {
+    worlds_[pe]->world_team_ = Team(worlds_[pe].get(), shared);
+  }
+}
+
+WorldGroup::~WorldGroup() {
+  for (auto& w : worlds_) w->pool_->shutdown();
+}
+
+std::uint64_t WorldGroup::total_outstanding() const {
+  std::uint64_t sum = 0;
+  for (const auto& w : worlds_) {
+    sum += w->engine_->outstanding();
+    if (w->engine_->outgoing().has_pending()) ++sum;
+    if (!w->lamellae_->inbox_empty()) ++sum;
+    sum += w->pool_->pending();
+  }
+  return sum;
+}
+
+bool WorldGroup::quiesce_round(pe_id pe) {
+  World& w = *worlds_[pe];
+  w.engine_->wait_all();
+  w.barrier();
+  if (pe == 0) {
+    quiesce_decision_.store(total_outstanding() == 0,
+                            std::memory_order_release);
+  }
+  w.barrier();
+  return quiesce_decision_.load(std::memory_order_acquire);
+}
+
+std::shared_ptr<TeamShared> WorldGroup::rendezvous_team(
+    pe_id pe, std::vector<pe_id> members) {
+  std::lock_guard lock(team_mu_);
+  // Collective sequencing: the n-th team-creating call on each member PE
+  // refers to the same team.  Key pending teams by (min member, per-PE seq).
+  const std::uint64_t seq = team_seq_[pe]++;
+  const std::uint64_t key = (members.front() << 32) | seq;
+  auto it = pending_teams_.find(key);
+  if (it == pending_teams_.end()) {
+    auto shared = std::make_shared<TeamShared>(next_team_uid_++,
+                                               std::move(members),
+                                               worlds_.size());
+    if (shared->members.size() > 1) {
+      pending_teams_.emplace(key,
+                             PendingTeam{shared, shared->members.size() - 1});
+    }
+    return shared;
+  }
+  auto shared = it->second.shared;
+  if (--it->second.remaining == 0) pending_teams_.erase(it);
+  return shared;
+}
+
+// ---- run_world ----
+
+void run_world(std::size_t npes, const std::function<void(World&)>& body,
+               RuntimeConfig cfg, PerfParams params, PeMapping mapping,
+               bool virtual_time) {
+  WorldGroup group(npes, cfg, params, mapping, virtual_time);
+  std::vector<std::thread> mains;
+  std::vector<std::exception_ptr> errors(npes);
+  mains.reserve(npes);
+  for (pe_id pe = 0; pe < npes; ++pe) {
+    mains.emplace_back([&, pe] {
+      World& world = group.world(pe);
+      try {
+        body(world);
+      } catch (...) {
+        errors[pe] = std::current_exception();
+      }
+      // Implicit finalization (Listing 1 discussion): the PE stays alive,
+      // processing AMs, until every PE is ready to deinitialize.
+      if (errors[pe] == nullptr) world.finalize();
+    });
+  }
+  for (auto& t : mains) t.join();
+  for (auto& e : errors) {
+    if (e != nullptr) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace lamellar

@@ -1,0 +1,216 @@
+// LamellarWorld: the top-level per-PE runtime handle (paper Sec. III,
+// Listing 1).
+//
+// A WorldGroup owns the whole in-process "cluster": the shared fabric, one
+// Lamellae endpoint + work-stealing pool + AM engine + Darc manager per PE.
+// `run_world(npes, fn)` launches one SPMD "main" thread per PE — the
+// in-process equivalent of the paper's slurm-launched processes — and tears
+// everything down with the paper's implicit-finalization semantics: each
+// PE's world stays responsive (its pool keeps executing AMs) until every PE
+// is ready to deinitialize.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/config.hpp"
+#include "core/am/am_engine.hpp"
+#include "core/darc/darc.hpp"
+#include "core/scheduler/thread_pool.hpp"
+#include "core/world/team.hpp"
+#include "lamellae/shmem_lamellae.hpp"
+
+namespace lamellar {
+
+class World;
+class WorldGroup;
+template <typename T>
+class OneSidedMemoryRegion;
+
+/// One-sided memory-region lifetime registry: the origin PE tracks the
+/// total reference *weight*; see core/memregion/onesided_region.hpp for the
+/// weighted-counting protocol description.
+class OneSidedRegistry {
+ public:
+  explicit OneSidedRegistry(AmEngine& engine) : engine_(engine) {}
+
+  /// Register a region whose initial proxy holds `weight`.
+  std::uint64_t install_weighted(std::size_t offset, std::uint64_t weight);
+
+  /// Return `weight` to the registry; frees the allocation at zero.
+  void return_weight(std::uint64_t key, std::uint64_t weight,
+                     Lamellae& lamellae);
+
+  [[nodiscard]] std::size_t live() const;
+
+  AmEngine& engine() { return engine_; }
+
+ private:
+  struct Entry {
+    std::size_t offset = 0;
+    std::uint64_t weight = 0;
+  };
+  AmEngine& engine_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::uint64_t, Entry> entries_;
+  std::uint64_t next_key_ = 1;
+};
+
+class World {
+ public:
+  World(WorldGroup& group, pe_id pe);
+  ~World() = default;
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  // ---- identity ----
+  [[nodiscard]] pe_id my_pe() const { return lamellae_->my_pe(); }
+  [[nodiscard]] std::size_t num_pes() const { return lamellae_->num_pes(); }
+
+  // ---- active messages (Listing 1 API) ----
+
+  /// Launch `am` on PE `pe`; returns a future for exec()'s result.
+  template <ActiveMessageType Am>
+  Future<am_return_t<Am>> exec_am_pe(pe_id pe, Am am) {
+    return engine_->send(pe, std::move(am));
+  }
+
+  /// Launch a copy of `am` on every PE (including this one).
+  template <ActiveMessageType Am>
+  Future<std::vector<am_return_t<Am>>> exec_am_all(const Am& am) {
+    return engine_->send_all(am);
+  }
+
+  /// Block (helping: this thread executes runtime tasks while waiting)
+  /// until `f` completes.  Only blocks the local PE.
+  template <typename T>
+  T block_on(Future<T> f) {
+    return engine_->block_on(std::move(f));
+  }
+
+  /// Block until every AM launched by this PE has completed.
+  void wait_all() { engine_->wait_all(); }
+
+  /// Global synchronization across all PEs in the world.
+  void barrier();
+
+  // ---- distributed objects ----
+
+  /// Collectively create a Darc; every PE supplies its own instance.
+  template <typename T>
+  Darc<T> new_darc(T item) {
+    return new_darc_on(world_team_, std::move(item));
+  }
+
+  /// Collectively create a Darc on a team (member PEs only).
+  template <typename T>
+  Darc<T> new_darc_on(const Team& team, T item) {
+    const darc_id id = team.next_object_id(my_pe());
+    auto sp = std::make_shared<T>(std::move(item));
+    T* raw = sp.get();
+    darcs_->install(id, std::move(sp), team.root_pe());
+    if (my_pe() == team.root_pe()) darcs_->install_root(id, team.members());
+    const_cast<Team&>(team).barrier();
+    return Darc<T>(darcs_.get(), id, raw);
+  }
+
+  // ---- teams ----
+
+  /// The team containing every PE.
+  [[nodiscard]] const Team& team() const { return world_team_; }
+
+  /// Collectively (over the *world*) create a team from `members` (sorted
+  /// world PE ids).  Every world PE must call; non-members receive an
+  /// invalid Team handle.
+  Team create_team(std::vector<pe_id> members);
+
+  /// Split the world into contiguous teams of `block` PEs each.
+  Team split_block(std::size_t block);
+
+  // ---- accessors for runtime layers ----
+  AmEngine& engine() { return *engine_; }
+  Lamellae& lamellae() { return *lamellae_; }
+  DarcManager& darc_manager() { return *darcs_; }
+  OneSidedRegistry& onesided_registry() { return *onesided_; }
+  ThreadPool& pool() { return *pool_; }
+  [[nodiscard]] const RuntimeConfig& config() const;
+  WorldGroup& group() { return group_; }
+
+  /// Virtual time on this PE's clock (ns).
+  [[nodiscard]] sim_nanos time_ns() { return lamellae_->clock().now(); }
+
+  /// Paper-style implicit finalization: drain outstanding work and reach
+  /// global quiescence.  Called by run_world after the SPMD body returns.
+  void finalize();
+
+ private:
+  friend class WorldGroup;
+
+  WorldGroup& group_;
+  std::unique_ptr<ShmemLamellae> lamellae_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<AmEngine> engine_;
+  std::unique_ptr<DarcManager> darcs_;
+  std::unique_ptr<OneSidedRegistry> onesided_;
+  Team world_team_;
+};
+
+/// The in-process "cluster": shared state plus one World per PE.
+class WorldGroup {
+ public:
+  explicit WorldGroup(std::size_t num_pes,
+                      RuntimeConfig cfg = RuntimeConfig::from_env(),
+                      PerfParams params = paper_perf_params(),
+                      PeMapping mapping = PeMapping{},
+                      bool virtual_time = true);
+  ~WorldGroup();
+
+  WorldGroup(const WorldGroup&) = delete;
+  WorldGroup& operator=(const WorldGroup&) = delete;
+
+  [[nodiscard]] std::size_t num_pes() const { return worlds_.size(); }
+  World& world(pe_id pe) { return *worlds_[pe]; }
+  ShmemLamellaeGroup& lamellae_group() { return lamellae_group_; }
+  [[nodiscard]] const RuntimeConfig& config() const { return cfg_; }
+
+  /// Sum of outstanding AM requests over all PEs plus any queued buffers —
+  /// zero only at global quiescence (valid while all mains are between
+  /// barriers).
+  [[nodiscard]] std::uint64_t total_outstanding() const;
+
+  /// One round of the termination-detection loop run by World::finalize.
+  /// Returns true when the group reached quiescence.
+  bool quiesce_round(pe_id pe);
+
+  /// Shared team registry: collective team creation rendezvous.
+  std::shared_ptr<TeamShared> rendezvous_team(pe_id pe,
+                                              std::vector<pe_id> members);
+
+ private:
+  RuntimeConfig cfg_;
+  ShmemLamellaeGroup lamellae_group_;
+  std::vector<std::unique_ptr<World>> worlds_;
+
+  std::mutex team_mu_;
+  std::uint64_t next_team_uid_ = 1;
+  struct PendingTeam {
+    std::shared_ptr<TeamShared> shared;
+    std::size_t remaining = 0;
+  };
+  std::unordered_map<std::uint64_t, PendingTeam> pending_teams_;
+  std::vector<std::uint64_t> team_seq_;  // per-PE collective team counter
+
+  std::atomic<bool> quiesce_decision_{false};
+};
+
+/// Run an SPMD function on `npes` in-process PEs: the equivalent of
+/// launching the paper's binary under slurm with `npes` processes.
+void run_world(std::size_t npes, const std::function<void(World&)>& body,
+               RuntimeConfig cfg = RuntimeConfig::from_env(),
+               PerfParams params = paper_perf_params(),
+               PeMapping mapping = PeMapping{}, bool virtual_time = true);
+
+}  // namespace lamellar

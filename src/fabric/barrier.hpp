@@ -1,0 +1,52 @@
+// Sense-reversing barrier for SPMD participant threads, with virtual-time
+// synchronization: on release, every participant's clock is raised to the
+// maximum arrival time plus the modeled barrier cost.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+#include "common/types.hpp"
+#include "fabric/virtual_clock.hpp"
+
+namespace lamellar {
+
+class SenseBarrier {
+ public:
+  explicit SenseBarrier(std::size_t participants)
+      : participants_(participants) {}
+
+  /// Block until all participants arrive.  `clock` may be null (no virtual
+  /// time accounting).  `cost_ns` is the modeled latency of the barrier.
+  void arrive_and_wait(VirtualClock* clock = nullptr, double cost_ns = 0.0) {
+    std::unique_lock lock(mu_);
+    const std::size_t gen = generation_;
+    if (clock != nullptr && clock->now() > max_arrival_) {
+      max_arrival_ = clock->now();
+    }
+    if (++arrived_ == participants_) {
+      arrived_ = 0;
+      release_time_ = max_arrival_ + static_cast<sim_nanos>(cost_ns);
+      max_arrival_ = 0;
+      ++generation_;
+      cv_.notify_all();
+    } else {
+      cv_.wait(lock, [&] { return generation_ != gen; });
+    }
+    if (clock != nullptr) clock->raise_to(release_time_);
+  }
+
+  [[nodiscard]] std::size_t participants() const { return participants_; }
+
+ private:
+  const std::size_t participants_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::size_t arrived_ = 0;
+  std::size_t generation_ = 0;
+  sim_nanos max_arrival_ = 0;
+  sim_nanos release_time_ = 0;
+};
+
+}  // namespace lamellar

@@ -1,0 +1,13 @@
+#include "fabric/perf_model.hpp"
+
+namespace lamellar {
+
+double bandwidth_mb_s(std::size_t bytes, double per_msg_ns) {
+  if (per_msg_ns <= 0.0) return 0.0;
+  // bytes/ns == GB/s (decimal); scale to MB/s.
+  return (static_cast<double>(bytes) / per_msg_ns) * 1000.0;
+}
+
+PerfParams paper_perf_params() { return PerfParams{}; }
+
+}  // namespace lamellar

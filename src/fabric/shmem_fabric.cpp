@@ -1,0 +1,158 @@
+#include "fabric/shmem_fabric.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace lamellar {
+
+ShmemFabric::ShmemFabric(std::size_t num_pes, std::size_t arena_bytes,
+                         PerfParams params, PeMapping mapping,
+                         bool virtual_time)
+    : arena_bytes_(arena_bytes),
+      params_(params),
+      mapping_(mapping),
+      virtual_time_(virtual_time),
+      clocks_(num_pes),
+      world_barrier_(num_pes) {
+  arenas_.reserve(num_pes);
+  inboxes_.reserve(num_pes);
+  for (std::size_t i = 0; i < num_pes; ++i) {
+    // Value-initialize so freshly allocated regions read as zero, matching
+    // the registered-region behaviour higher layers rely on for flags.
+    arenas_.push_back(std::make_unique<std::byte[]>(arena_bytes));
+    inboxes_.push_back(std::make_unique<Inbox>());
+  }
+}
+
+void ShmemFabric::check_bounds(pe_id pe, std::size_t offset,
+                               std::size_t len) const {
+  if (pe >= arenas_.size()) {
+    throw BoundsError("fabric: PE id out of range");
+  }
+  if (offset + len > arena_bytes_ || offset + len < offset) {
+    throw_bounds("fabric arena access", offset + len, arena_bytes_);
+  }
+}
+
+double ShmemFabric::transfer_cost_ns(pe_id a, pe_id b,
+                                     std::size_t bytes) const {
+  if (a == b) {
+    return params_.memcpy_ns(bytes);
+  }
+  if (mapping_.same_node(a, b)) {
+    // Shared-memory path: copy through the node's memory system.
+    return 120.0 + static_cast<double>(bytes) / params_.memcpy_bytes_per_ns;
+  }
+  return params_.rdma_cost_ns(bytes);
+}
+
+void ShmemFabric::put(pe_id src, pe_id dst, std::size_t dst_offset,
+                      std::span<const std::byte> data) {
+  check_bounds(dst, dst_offset, data.size());
+  std::memcpy(arenas_[dst].get() + dst_offset, data.data(), data.size());
+  charge(src, transfer_cost_ns(src, dst, data.size()));
+}
+
+void ShmemFabric::get(pe_id dst, pe_id src_remote, std::size_t remote_offset,
+                      std::span<std::byte> out) {
+  check_bounds(src_remote, remote_offset, out.size());
+  std::memcpy(out.data(), arenas_[src_remote].get() + remote_offset,
+              out.size());
+  charge(dst, transfer_cost_ns(dst, src_remote, out.size()));
+}
+
+void ShmemFabric::get_pipelined(pe_id dst, pe_id src_remote,
+                                std::size_t remote_offset,
+                                std::span<std::byte> out) {
+  check_bounds(src_remote, remote_offset, out.size());
+  std::memcpy(out.data(), arenas_[src_remote].get() + remote_offset,
+              out.size());
+  if (dst == src_remote || mapping_.same_node(dst, src_remote)) {
+    charge(dst, params_.memcpy_ns(out.size()));
+  } else {
+    charge(dst, params_.pipelined_cost_ns(out.size()));
+  }
+}
+
+namespace {
+// Arena words used for atomics are 8-byte aligned by the allocators.
+std::atomic_ref<std::uint64_t> word_at(std::byte* base, std::size_t offset) {
+  return std::atomic_ref<std::uint64_t>(
+      *reinterpret_cast<std::uint64_t*>(base + offset));
+}
+}  // namespace
+
+std::uint64_t ShmemFabric::atomic_fetch_add_u64(pe_id src, pe_id dst,
+                                                std::size_t offset,
+                                                std::uint64_t v) {
+  check_bounds(dst, offset, sizeof(std::uint64_t));
+  charge(src, src == dst ? params_.atomic_store_ns
+                         : transfer_cost_ns(src, dst, sizeof(std::uint64_t)));
+  return word_at(arenas_[dst].get(), offset)
+      .fetch_add(v, std::memory_order_acq_rel);
+}
+
+std::uint64_t ShmemFabric::atomic_load_u64(pe_id src, pe_id dst,
+                                           std::size_t offset) {
+  check_bounds(dst, offset, sizeof(std::uint64_t));
+  charge(src, src == dst ? params_.atomic_store_ns
+                         : transfer_cost_ns(src, dst, sizeof(std::uint64_t)));
+  return word_at(arenas_[dst].get(), offset).load(std::memory_order_acquire);
+}
+
+void ShmemFabric::atomic_store_u64(pe_id src, pe_id dst, std::size_t offset,
+                                   std::uint64_t v) {
+  check_bounds(dst, offset, sizeof(std::uint64_t));
+  charge(src, src == dst ? params_.atomic_store_ns
+                         : transfer_cost_ns(src, dst, sizeof(std::uint64_t)));
+  word_at(arenas_[dst].get(), offset).store(v, std::memory_order_release);
+}
+
+bool ShmemFabric::atomic_cas_u64(pe_id src, pe_id dst, std::size_t offset,
+                                 std::uint64_t& expected,
+                                 std::uint64_t desired) {
+  check_bounds(dst, offset, sizeof(std::uint64_t));
+  charge(src, src == dst ? params_.atomic_store_ns
+                         : transfer_cost_ns(src, dst, sizeof(std::uint64_t)));
+  return word_at(arenas_[dst].get(), offset)
+      .compare_exchange_strong(expected, desired, std::memory_order_acq_rel);
+}
+
+bool ShmemFabric::try_send(pe_id src, pe_id dst, ByteBuffer& payload) {
+  if (dst >= inboxes_.size()) throw BoundsError("fabric: send to bad PE");
+  const std::size_t bytes = payload.size();
+  Inbox& inbox = *inboxes_[dst];
+  std::lock_guard lock(inbox.mu);
+  if (inbox.messages.size() >= inbox_capacity_) return false;
+  charge(src, transfer_cost_ns(src, dst, bytes));
+  FabricMessage msg;
+  msg.src = src;
+  msg.arrival_time = virtual_time_ ? clocks_[src].now() : 0;
+  msg.payload = std::move(payload);
+  inbox.messages.push_back(std::move(msg));
+  return true;
+}
+
+bool ShmemFabric::poll(pe_id pe, FabricMessage& out) {
+  Inbox& inbox = *inboxes_[pe];
+  std::lock_guard lock(inbox.mu);
+  if (inbox.messages.empty()) return false;
+  out = std::move(inbox.messages.front());
+  inbox.messages.pop_front();
+  if (virtual_time_) clocks_[pe].raise_to(out.arrival_time);
+  return true;
+}
+
+bool ShmemFabric::inbox_empty(pe_id pe) const {
+  Inbox& inbox = *inboxes_[pe];
+  std::lock_guard lock(inbox.mu);
+  return inbox.messages.empty();
+}
+
+void ShmemFabric::barrier(pe_id pe) {
+  world_barrier_.arrive_and_wait(virtual_time_ ? &clocks_[pe] : nullptr,
+                                 params_.barrier_ns);
+}
+
+}  // namespace lamellar

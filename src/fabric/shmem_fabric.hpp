@@ -1,0 +1,124 @@
+// The in-process shared-memory fabric — this repo's substitute for
+// ROFI/libfabric (paper Sec. III-A).
+//
+// Every PE owns a byte arena playing the role of its registered RDMA memory
+// region.  put/get are real memcpys between arenas; remote atomics use
+// std::atomic_ref on arena words; message buffers travel through bounded
+// per-destination inboxes (the command-queue transport).  Every operation is
+// charged to the initiating PE's virtual clock via the PerfParams model, and
+// message arrival times propagate causality to receivers, so benchmark
+// numbers reflect the modeled InfiniBand fabric.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/types.hpp"
+#include "fabric/barrier.hpp"
+#include "fabric/perf_model.hpp"
+#include "fabric/topology.hpp"
+#include "fabric/virtual_clock.hpp"
+
+namespace lamellar {
+
+/// A serialized message in flight between two PEs.
+struct FabricMessage {
+  pe_id src = 0;
+  sim_nanos arrival_time = 0;
+  ByteBuffer payload;
+};
+
+class ShmemFabric {
+ public:
+  ShmemFabric(std::size_t num_pes, std::size_t arena_bytes,
+              PerfParams params = paper_perf_params(),
+              PeMapping mapping = PeMapping{}, bool virtual_time = true);
+
+  [[nodiscard]] std::size_t num_pes() const { return clocks_.size(); }
+  [[nodiscard]] std::size_t arena_bytes() const { return arena_bytes_; }
+  [[nodiscard]] std::byte* arena(pe_id pe) { return arenas_[pe].get(); }
+  [[nodiscard]] const PerfParams& params() const { return params_; }
+  [[nodiscard]] const PeMapping& mapping() const { return mapping_; }
+
+  // ---- RDMA ----
+
+  /// Write `data` into `dst`'s arena at `dst_offset` (initiated by `src`).
+  void put(pe_id src, pe_id dst, std::size_t dst_offset,
+           std::span<const std::byte> data);
+
+  /// Read from `src_remote`'s arena at `remote_offset` into `out`
+  /// (initiated by `dst`).
+  void get(pe_id dst, pe_id src_remote, std::size_t remote_offset,
+           std::span<std::byte> out);
+
+  /// Same data movement as get(), but charged at the *pipelined* rate: the
+  /// cost of one of many back-to-back posted descriptors (used by
+  /// aggregators that keep the read pipeline full, e.g. Chapel's
+  /// CopyAggregator).
+  void get_pipelined(pe_id dst, pe_id src_remote, std::size_t remote_offset,
+                     std::span<std::byte> out);
+
+  // ---- remote atomics on 64-bit arena words ----
+  std::uint64_t atomic_fetch_add_u64(pe_id src, pe_id dst, std::size_t offset,
+                                     std::uint64_t v);
+  std::uint64_t atomic_load_u64(pe_id src, pe_id dst, std::size_t offset);
+  void atomic_store_u64(pe_id src, pe_id dst, std::size_t offset,
+                        std::uint64_t v);
+  bool atomic_cas_u64(pe_id src, pe_id dst, std::size_t offset,
+                      std::uint64_t& expected, std::uint64_t desired);
+
+  // ---- messaging (command-queue transport) ----
+
+  /// Attempt to enqueue a serialized buffer for `dst`.  Returns false when
+  /// the destination inbox is full (caller should make progress and retry).
+  bool try_send(pe_id src, pe_id dst, ByteBuffer& payload);
+
+  /// Pop one pending message for `pe`.  Raises the PE clock to the message
+  /// arrival time.  Returns false when the inbox is empty.
+  bool poll(pe_id pe, FabricMessage& out);
+
+  [[nodiscard]] bool inbox_empty(pe_id pe) const;
+
+  // ---- synchronization ----
+  void barrier(pe_id pe);
+
+  VirtualClock& clock(pe_id pe) { return clocks_[pe]; }
+
+  /// Charge local host-side work to a PE clock (used by higher layers).
+  void charge(pe_id pe, double ns) {
+    if (virtual_time_) clocks_[pe].advance(ns);
+  }
+
+  [[nodiscard]] bool virtual_time_enabled() const { return virtual_time_; }
+
+  /// Cost of one put/get between these PEs (intra-node transfers bypass the
+  /// NIC and are charged at memory-copy rates).
+  [[nodiscard]] double transfer_cost_ns(pe_id a, pe_id b,
+                                        std::size_t bytes) const;
+
+ private:
+  struct Inbox {
+    mutable std::mutex mu;
+    std::deque<FabricMessage> messages;
+  };
+
+  void check_bounds(pe_id pe, std::size_t offset, std::size_t len) const;
+
+  std::size_t arena_bytes_;
+  PerfParams params_;
+  PeMapping mapping_;
+  bool virtual_time_;
+  std::vector<std::unique_ptr<std::byte[]>> arenas_;
+  std::vector<VirtualClock> clocks_;
+  std::vector<std::unique_ptr<Inbox>> inboxes_;
+  std::size_t inbox_capacity_ = 4096;
+  SenseBarrier world_barrier_;
+};
+
+}  // namespace lamellar

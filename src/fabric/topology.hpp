@@ -1,0 +1,67 @@
+// Cluster topology description.
+//
+// The paper's evaluation platform (Sec. IV): 48-node cluster (32 usable),
+// dual-socket AMD EPYC 7543 (64 cores, 16 NUMA domains per node), 256 GB
+// DDR4-3200, Mellanox ConnectX-6 HDR-100 (100 Gb/s = 12.5 GB/s), full fat
+// tree of 4 racks x 12 nodes with 3 spine switches.  The simulator and the
+// fabric performance model both consume this description.
+#pragma once
+
+#include <cstddef>
+
+#include "common/types.hpp"
+
+namespace lamellar {
+
+struct ClusterSpec {
+  std::size_t nodes = 32;
+  std::size_t cores_per_node = 64;
+  std::size_t numa_per_node = 16;
+  std::size_t nodes_per_rack = 12;
+  std::size_t racks = 4;
+
+  /// NIC injection bandwidth per node, bytes per nanosecond (12.5 GB/s).
+  double nic_bytes_per_ns = 12.5;
+
+  /// Rack uplink capacity toward the spines, bytes/ns.  Each leaf has 8
+  /// connections to each of 3 spines (24 x 100 Gb/s = 300 GB/s up), shared
+  /// by 12 nodes; expressed per node-equivalent below via contention.
+  double uplink_bytes_per_ns = 24 * 12.5;
+
+  /// One-way wire latency within a rack / across racks (ns).
+  double intra_rack_latency_ns = 1'000;
+  double inter_rack_latency_ns = 1'600;
+
+  /// Intra-node (shared-memory) transfer rate, bytes/ns.
+  double intranode_bytes_per_ns = 16.0;
+
+  [[nodiscard]] std::size_t total_cores() const {
+    return nodes * cores_per_node;
+  }
+
+  [[nodiscard]] std::size_t node_of_core(std::size_t core) const {
+    return core / cores_per_node;
+  }
+
+  [[nodiscard]] std::size_t rack_of_node(std::size_t node) const {
+    return node / nodes_per_rack;
+  }
+};
+
+/// The cluster used in the paper's evaluation.
+ClusterSpec paper_cluster();
+
+/// How PEs are mapped onto the cluster for the fabric model: `pes_per_node`
+/// PEs placed round-robin-contiguously across nodes.
+struct PeMapping {
+  std::size_t pes_per_node = 1;
+
+  [[nodiscard]] std::size_t node_of_pe(pe_id pe) const {
+    return pe / pes_per_node;
+  }
+  [[nodiscard]] bool same_node(pe_id a, pe_id b) const {
+    return node_of_pe(a) == node_of_pe(b);
+  }
+};
+
+}  // namespace lamellar

@@ -1,0 +1,80 @@
+#include "lamellae/cmd_queue.hpp"
+
+namespace lamellar {
+
+OutgoingQueues::OutgoingQueues(Lamellae& lamellae, std::size_t flush_threshold)
+    : lamellae_(lamellae), threshold_(flush_threshold) {
+  lanes_.reserve(lamellae.num_pes());
+  for (std::size_t i = 0; i < lamellae.num_pes(); ++i) {
+    lanes_.push_back(std::make_unique<Lane>());
+  }
+}
+
+void OutgoingQueues::push(pe_id dst, std::span<const std::byte> record,
+                          const ProgressFn& progress) {
+  Lane& lane = *lanes_[dst];
+  ByteBuffer to_send;
+  {
+    std::lock_guard lock(lane.mu);
+    lane.active.write(record.data(), record.size());
+    if (lane.active.size() >= threshold_) {
+      // Swap the filled buffer out; a fresh one becomes active immediately
+      // (the second half of the double buffer) so other workers continue.
+      to_send = std::move(lane.active);
+      lane.active = ByteBuffer{};
+    }
+  }
+  if (!to_send.empty()) {
+    lamellae_.charge(lamellae_.params().agg_flush_overhead_ns);
+    transmit(dst, std::move(to_send), progress);
+  }
+}
+
+void OutgoingQueues::send_now(pe_id dst, ByteBuffer buf,
+                              const ProgressFn& progress) {
+  // Preserve record ordering per destination: anything staged must leave
+  // before the direct buffer.
+  flush(dst, progress);
+  transmit(dst, std::move(buf), progress);
+}
+
+void OutgoingQueues::flush(pe_id dst, const ProgressFn& progress) {
+  Lane& lane = *lanes_[dst];
+  ByteBuffer to_send;
+  {
+    std::lock_guard lock(lane.mu);
+    if (lane.active.empty()) return;
+    to_send = std::move(lane.active);
+    lane.active = ByteBuffer{};
+  }
+  lamellae_.charge(lamellae_.params().agg_flush_overhead_ns);
+  transmit(dst, std::move(to_send), progress);
+}
+
+void OutgoingQueues::flush_all(const ProgressFn& progress) {
+  for (pe_id dst = 0; dst < lanes_.size(); ++dst) flush(dst, progress);
+}
+
+bool OutgoingQueues::has_pending() const {
+  for (const auto& lane : lanes_) {
+    std::lock_guard lock(lane->mu);
+    if (!lane->active.empty()) return true;
+  }
+  return false;
+}
+
+std::uint64_t OutgoingQueues::buffers_sent() const {
+  return buffers_sent_.load(std::memory_order_relaxed);
+}
+
+void OutgoingQueues::transmit(pe_id dst, ByteBuffer buf,
+                              const ProgressFn& progress) {
+  buffers_sent_.fetch_add(1, std::memory_order_relaxed);
+  // try_send consumes the buffer only on success; on backpressure, make
+  // progress on our own inbox (which can unblock the destination) and retry.
+  while (!lamellae_.try_send(dst, buf)) {
+    progress();
+  }
+}
+
+}  // namespace lamellar

@@ -1,0 +1,67 @@
+// Outgoing command queues: per-destination double-buffered staging of
+// serialized records (paper Sec. III-A1, "double buffering message queue").
+//
+// Small records are appended to a per-destination active buffer; when the
+// buffer reaches the aggregation threshold it is swapped out (the second
+// buffer of the pair becomes active) and handed to the Lamellae while workers
+// keep filling.  Records larger than the threshold bypass aggregation and
+// are sent directly — the behaviour the paper describes around the 100 KB
+// default threshold.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/types.hpp"
+#include "lamellae/lamellae.hpp"
+
+namespace lamellar {
+
+class OutgoingQueues {
+ public:
+  /// `progress` is invoked while the fabric is backpressured; it must drain
+  /// the caller's own inbox (and may execute tasks) to guarantee progress.
+  using ProgressFn = std::function<void()>;
+
+  OutgoingQueues(Lamellae& lamellae, std::size_t flush_threshold);
+
+  /// Append one serialized record destined for `dst`.  May flush.
+  void push(pe_id dst, std::span<const std::byte> record,
+            const ProgressFn& progress);
+
+  /// Move a whole prebuilt buffer out for `dst` without copying (used for
+  /// records at or above the threshold).
+  void send_now(pe_id dst, ByteBuffer buf, const ProgressFn& progress);
+
+  /// Flush any partially filled buffer for `dst`.
+  void flush(pe_id dst, const ProgressFn& progress);
+
+  /// Flush every destination.
+  void flush_all(const ProgressFn& progress);
+
+  [[nodiscard]] bool has_pending() const;
+  [[nodiscard]] std::size_t flush_threshold() const { return threshold_; }
+
+  /// Total buffers handed to the fabric (for tests/stats).
+  [[nodiscard]] std::uint64_t buffers_sent() const;
+
+ private:
+  struct Lane {
+    mutable std::mutex mu;
+    ByteBuffer active;
+  };
+
+  void transmit(pe_id dst, ByteBuffer buf, const ProgressFn& progress);
+
+  Lamellae& lamellae_;
+  std::size_t threshold_;
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  std::atomic<std::uint64_t> buffers_sent_{0};
+};
+
+}  // namespace lamellar

@@ -1,0 +1,79 @@
+#include "lamellae/heap.hpp"
+
+#include <string>
+
+namespace lamellar {
+
+OffsetHeap::OffsetHeap(std::size_t base, std::size_t size)
+    : base_(base), size_(size) {
+  if (size > 0) free_.emplace(base, size);
+}
+
+std::size_t OffsetHeap::alloc(std::size_t bytes, std::size_t align) {
+  if (bytes == 0) bytes = 1;
+  if (!is_pow2(align)) throw Error("OffsetHeap: alignment must be power of 2");
+  std::lock_guard lock(mu_);
+  for (auto it = free_.begin(); it != free_.end(); ++it) {
+    const std::size_t start = it->first;
+    const std::size_t len = it->second;
+    const std::size_t aligned = align_up(start, align);
+    const std::size_t pad = aligned - start;
+    if (pad + bytes > len) continue;
+
+    const std::size_t total = pad + bytes;
+    const std::size_t rest = len - total;
+    free_.erase(it);
+    if (rest > 0) free_.emplace(start + total, rest);
+    live_.emplace(aligned, Block{start, total});
+    used_ += total;
+    return aligned;
+  }
+  throw OutOfMemoryError("OffsetHeap: cannot allocate " +
+                         std::to_string(bytes) + " bytes (" +
+                         std::to_string(size_ - used_) + " free, fragmented)");
+}
+
+void OffsetHeap::free(std::size_t offset) {
+  std::lock_guard lock(mu_);
+  auto it = live_.find(offset);
+  if (it == live_.end()) {
+    throw Error("OffsetHeap: free of unknown offset " + std::to_string(offset));
+  }
+  Block blk = it->second;
+  live_.erase(it);
+  used_ -= blk.len;
+
+  // Coalesce with successor.
+  auto next = free_.lower_bound(blk.start);
+  if (next != free_.end() && blk.start + blk.len == next->first) {
+    blk.len += next->second;
+    free_.erase(next);
+  }
+  // Coalesce with predecessor.
+  auto prev = free_.lower_bound(blk.start);
+  if (prev != free_.begin()) {
+    --prev;
+    if (prev->first + prev->second == blk.start) {
+      prev->second += blk.len;
+      return;
+    }
+  }
+  free_.emplace(blk.start, blk.len);
+}
+
+std::size_t OffsetHeap::bytes_free() const {
+  std::lock_guard lock(mu_);
+  return size_ - used_;
+}
+
+std::size_t OffsetHeap::bytes_used() const {
+  std::lock_guard lock(mu_);
+  return used_;
+}
+
+std::size_t OffsetHeap::live_allocations() const {
+  std::lock_guard lock(mu_);
+  return live_.size();
+}
+
+}  // namespace lamellar

@@ -1,0 +1,52 @@
+// Offset-based heap allocator for RDMA memory regions.
+//
+// The Lamellae reserves a large arena per PE at startup (paper Sec. III-A1):
+// part is runtime-internal, the rest serves as a dynamic heap for user-level
+// distributed structures.  This allocator manages offsets within that arena
+// with a first-fit free list and boundary coalescing.  Offsets (not pointers)
+// are the currency so the same value is meaningful on every PE for symmetric
+// allocations.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <mutex>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace lamellar {
+
+class OffsetHeap {
+ public:
+  /// Manage the range [base, base + size).
+  OffsetHeap(std::size_t base, std::size_t size);
+
+  /// Allocate `bytes` with the given power-of-two alignment.  Returns the
+  /// offset of the allocation.  Throws OutOfMemoryError when exhausted.
+  std::size_t alloc(std::size_t bytes, std::size_t align = 16);
+
+  /// Release an allocation previously returned by alloc().
+  void free(std::size_t offset);
+
+  [[nodiscard]] std::size_t bytes_free() const;
+  [[nodiscard]] std::size_t bytes_used() const;
+  [[nodiscard]] std::size_t base() const { return base_; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] std::size_t live_allocations() const;
+
+ private:
+  struct Block {
+    std::size_t start;  ///< block start including alignment padding
+    std::size_t len;    ///< total block length including padding
+  };
+
+  const std::size_t base_;
+  const std::size_t size_;
+  mutable std::mutex mu_;
+  std::map<std::size_t, std::size_t> free_;  ///< start -> length
+  std::map<std::size_t, Block> live_;        ///< user offset -> block
+  std::size_t used_ = 0;
+};
+
+}  // namespace lamellar

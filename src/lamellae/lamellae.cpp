@@ -1,0 +1,3 @@
+// The Lamellae interface is pure-virtual; this translation unit anchors its
+// vtable/key function emission.
+#include "lamellae/lamellae.hpp"

@@ -1,0 +1,106 @@
+// The Lamellae interface (paper Sec. III-A): the boundary between the
+// runtime and a network backend.
+//
+// Exactly as in the paper, a Lamellae knows how to (de)initialize, report PE
+// identity, (de)allocate RDMA memory regions, perform remote put/get
+// transfers, run barriers, and move serialized message buffers between PEs.
+// Implementations here: ShmemLamellae (many PEs, in-process arenas over
+// ShmemFabric — models both the paper's ROFI and Shmem lamellae, with a
+// PeMapping deciding which transfers are "inter-node") and SmpLamellae
+// (single PE, pure local).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/bytes.hpp"
+#include "common/types.hpp"
+#include "fabric/perf_model.hpp"
+#include "fabric/shmem_fabric.hpp"
+#include "fabric/virtual_clock.hpp"
+
+namespace lamellar {
+
+class Lamellae {
+ public:
+  virtual ~Lamellae() = default;
+
+  [[nodiscard]] virtual pe_id my_pe() const = 0;
+  [[nodiscard]] virtual std::size_t num_pes() const = 0;
+
+  /// Base of this PE's registered memory arena.
+  virtual std::byte* base() = 0;
+
+  // ---- RDMA memory-region management ----
+
+  /// Collective: every PE must call with identical arguments and in the same
+  /// order; the same offset is returned on all PEs.  Blocks only the calling
+  /// thread (paper Sec. III-A1).
+  virtual std::size_t alloc_symmetric(std::size_t bytes,
+                                      std::size_t align) = 0;
+
+  /// Collective release; storage is reclaimed when the last PE calls.
+  virtual void free_symmetric(std::size_t offset) = 0;
+
+  /// Team-scoped collective allocation: `key` identifies the collective
+  /// instance (identical on all participants, unique per call) and
+  /// `participants` how many PEs take part.  Same offset returned to all.
+  virtual std::size_t alloc_symmetric_group(std::uint64_t key,
+                                            std::size_t participants,
+                                            std::size_t bytes,
+                                            std::size_t align) = 0;
+
+  /// Team-scoped collective release.
+  virtual void free_symmetric_group(std::size_t offset,
+                                    std::size_t participants) = 0;
+
+  /// One-sided allocation from this PE's dynamic heap.
+  virtual std::size_t alloc_onesided(std::size_t bytes, std::size_t align) = 0;
+  virtual void free_onesided(std::size_t offset) = 0;
+
+  // ---- RDMA transfers (unsafe tier: no access control) ----
+  virtual void put(pe_id dst, std::size_t dst_offset,
+                   std::span<const std::byte> data) = 0;
+  virtual void get(pe_id src, std::size_t remote_offset,
+                   std::span<std::byte> out) = 0;
+
+  /// get() charged at the pipelined (back-to-back descriptor) rate.
+  virtual void get_pipelined(pe_id src, std::size_t remote_offset,
+                             std::span<std::byte> out) = 0;
+
+  // ---- remote atomics on 64-bit words in the arena ----
+  virtual std::uint64_t atomic_fetch_add_u64(pe_id dst, std::size_t offset,
+                                             std::uint64_t v) = 0;
+  virtual std::uint64_t atomic_load_u64(pe_id dst, std::size_t offset) = 0;
+  virtual void atomic_store_u64(pe_id dst, std::size_t offset,
+                                std::uint64_t v) = 0;
+  virtual bool atomic_cas_u64(pe_id dst, std::size_t offset,
+                              std::uint64_t& expected,
+                              std::uint64_t desired) = 0;
+
+  // ---- serialized message transport ----
+
+  /// Attempt to hand a finished buffer to the fabric.  On success the
+  /// buffer is consumed (moved from); false means the destination is
+  /// backpressured and the buffer is untouched — the caller should make
+  /// progress (drain its own inbox) and retry.
+  virtual bool try_send(pe_id dst, ByteBuffer& buf) = 0;
+
+  /// Pop one incoming message buffer, if any.
+  virtual bool poll(FabricMessage& out) = 0;
+
+  [[nodiscard]] virtual bool inbox_empty() const = 0;
+
+  // ---- synchronization / accounting ----
+  virtual void barrier() = 0;
+  virtual VirtualClock& clock() = 0;
+  [[nodiscard]] virtual const PerfParams& params() const = 0;
+
+  /// Charge modeled host-side time to this PE.
+  virtual void charge(double ns) = 0;
+
+  /// True when src->dst crosses a modeled node boundary.
+  [[nodiscard]] virtual bool remote_to(pe_id dst) const = 0;
+};
+
+}  // namespace lamellar

@@ -1,0 +1,85 @@
+#include "lamellae/shmem_lamellae.hpp"
+
+namespace lamellar {
+
+ShmemLamellaeGroup::ShmemLamellaeGroup(std::size_t num_pes, Layout layout,
+                                       PerfParams params, PeMapping mapping,
+                                       bool virtual_time)
+    : layout_(layout),
+      fabric_(num_pes, layout.total(), params, mapping, virtual_time),
+      symmetric_heap_(layout.internal_bytes, layout.symmetric_bytes),
+      alloc_seq_(num_pes, 0) {
+  const std::size_t onesided_base =
+      layout.internal_bytes + layout.symmetric_bytes;
+  onesided_heaps_.reserve(num_pes);
+  for (std::size_t i = 0; i < num_pes; ++i) {
+    onesided_heaps_.push_back(
+        std::make_unique<OffsetHeap>(onesided_base, layout.onesided_bytes));
+  }
+}
+
+std::unique_ptr<ShmemLamellae> ShmemLamellaeGroup::endpoint(pe_id pe) {
+  return std::make_unique<ShmemLamellae>(*this, pe);
+}
+
+void ShmemLamellaeGroup::collective_free(std::size_t offset,
+                                         std::size_t participants) {
+  std::unique_lock lock(collective_mu_);
+  auto [it, inserted] = pending_frees_.try_emplace(offset);
+  it->second.participants = participants;
+  if (++it->second.calls == participants) {
+    pending_frees_.erase(it);
+    symmetric_heap_.free(offset);
+  }
+}
+
+std::size_t ShmemLamellae::alloc_symmetric(std::size_t bytes,
+                                           std::size_t align) {
+  std::uint64_t key = 0;
+  {
+    std::unique_lock lock(group_.collective_mu_);
+    // World-wide collectives use a per-PE sequence number in a reserved key
+    // space; team collectives pass their own keys via the _group variant.
+    key = (1ULL << 63) | group_.alloc_seq_[pe_]++;
+  }
+  return alloc_symmetric_group(key, num_pes(), bytes, align);
+}
+
+std::size_t ShmemLamellae::alloc_symmetric_group(std::uint64_t key,
+                                                 std::size_t participants,
+                                                 std::size_t bytes,
+                                                 std::size_t align) {
+  std::unique_lock lock(group_.collective_mu_);
+  auto it = group_.pending_allocs_.find(key);
+  if (it == group_.pending_allocs_.end()) {
+    const std::size_t offset = group_.symmetric_heap_.alloc(bytes, align);
+    if (participants > 1) {
+      group_.pending_allocs_.emplace(
+          key, ShmemLamellaeGroup::PendingAlloc{offset, participants - 1});
+    }
+    return offset;
+  }
+  const std::size_t offset = it->second.offset;
+  if (--it->second.remaining == 0) group_.pending_allocs_.erase(it);
+  return offset;
+}
+
+void ShmemLamellae::free_symmetric(std::size_t offset) {
+  group_.collective_free(offset, num_pes());
+}
+
+void ShmemLamellae::free_symmetric_group(std::size_t offset,
+                                         std::size_t participants) {
+  group_.collective_free(offset, participants);
+}
+
+std::size_t ShmemLamellae::alloc_onesided(std::size_t bytes,
+                                          std::size_t align) {
+  return group_.onesided_heaps_[pe_]->alloc(bytes, align);
+}
+
+void ShmemLamellae::free_onesided(std::size_t offset) {
+  group_.onesided_heaps_[pe_]->free(offset);
+}
+
+}  // namespace lamellar

@@ -1,0 +1,146 @@
+// ShmemLamellae: the in-process, multi-PE Lamellae.
+//
+// Plays the role of both the paper's ROFI Lamellae (when given a PeMapping
+// that spreads PEs across modeled nodes) and its Shmem Lamellae (all PEs on
+// one node).  All PEs share one ShmemFabric; each PE's arena is split into
+// [internal | symmetric heap | one-sided heap], mirroring the paper's
+// layout: a runtime-reserved region plus a dynamic heap.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "lamellae/heap.hpp"
+#include "lamellae/lamellae.hpp"
+
+namespace lamellar {
+
+class ShmemLamellae;
+
+/// World-wide state shared by the per-PE ShmemLamellae endpoints.
+class ShmemLamellaeGroup {
+ public:
+  struct Layout {
+    std::size_t internal_bytes = 1 * 1024 * 1024;
+    std::size_t symmetric_bytes = 64 * 1024 * 1024;
+    std::size_t onesided_bytes = 32 * 1024 * 1024;
+    [[nodiscard]] std::size_t total() const {
+      return internal_bytes + symmetric_bytes + onesided_bytes;
+    }
+  };
+
+  ShmemLamellaeGroup(std::size_t num_pes, Layout layout,
+                     PerfParams params = paper_perf_params(),
+                     PeMapping mapping = PeMapping{},
+                     bool virtual_time = true);
+
+  /// Build the endpoint for one PE.  Endpoints borrow the group; the group
+  /// must outlive them.
+  std::unique_ptr<ShmemLamellae> endpoint(pe_id pe);
+
+  ShmemFabric& fabric() { return fabric_; }
+  [[nodiscard]] const Layout& layout() const { return layout_; }
+
+ private:
+  friend class ShmemLamellae;
+
+  // Collective symmetric allocation bookkeeping: all PEs perform the same
+  // sequence of collective calls (standard SPMD requirement); the first
+  // arrival allocates, the rest pick up the result, the last erases it.
+  void collective_free(std::size_t offset, std::size_t participants);
+
+  Layout layout_;
+  ShmemFabric fabric_;
+  OffsetHeap symmetric_heap_;
+  std::vector<std::unique_ptr<OffsetHeap>> onesided_heaps_;
+
+  std::mutex collective_mu_;
+  struct PendingAlloc {
+    std::size_t offset = 0;
+    std::size_t remaining = 0;
+  };
+  std::unordered_map<std::uint64_t, PendingAlloc> pending_allocs_;
+  struct PendingFree {
+    std::size_t calls = 0;
+    std::size_t participants = 0;
+  };
+  std::unordered_map<std::size_t, PendingFree> pending_frees_;
+  std::vector<std::uint64_t> alloc_seq_;  // per-PE collective sequence number
+};
+
+class ShmemLamellae final : public Lamellae {
+ public:
+  ShmemLamellae(ShmemLamellaeGroup& group, pe_id pe)
+      : group_(group), pe_(pe) {}
+
+  [[nodiscard]] pe_id my_pe() const override { return pe_; }
+  [[nodiscard]] std::size_t num_pes() const override {
+    return group_.fabric_.num_pes();
+  }
+  std::byte* base() override { return group_.fabric_.arena(pe_); }
+
+  std::size_t alloc_symmetric(std::size_t bytes, std::size_t align) override;
+  void free_symmetric(std::size_t offset) override;
+  std::size_t alloc_symmetric_group(std::uint64_t key,
+                                    std::size_t participants,
+                                    std::size_t bytes,
+                                    std::size_t align) override;
+  void free_symmetric_group(std::size_t offset,
+                            std::size_t participants) override;
+  std::size_t alloc_onesided(std::size_t bytes, std::size_t align) override;
+  void free_onesided(std::size_t offset) override;
+
+  void put(pe_id dst, std::size_t dst_offset,
+           std::span<const std::byte> data) override {
+    group_.fabric_.put(pe_, dst, dst_offset, data);
+  }
+  void get(pe_id src, std::size_t remote_offset,
+           std::span<std::byte> out) override {
+    group_.fabric_.get(pe_, src, remote_offset, out);
+  }
+  void get_pipelined(pe_id src, std::size_t remote_offset,
+                     std::span<std::byte> out) override {
+    group_.fabric_.get_pipelined(pe_, src, remote_offset, out);
+  }
+
+  std::uint64_t atomic_fetch_add_u64(pe_id dst, std::size_t offset,
+                                     std::uint64_t v) override {
+    return group_.fabric_.atomic_fetch_add_u64(pe_, dst, offset, v);
+  }
+  std::uint64_t atomic_load_u64(pe_id dst, std::size_t offset) override {
+    return group_.fabric_.atomic_load_u64(pe_, dst, offset);
+  }
+  void atomic_store_u64(pe_id dst, std::size_t offset,
+                        std::uint64_t v) override {
+    group_.fabric_.atomic_store_u64(pe_, dst, offset, v);
+  }
+  bool atomic_cas_u64(pe_id dst, std::size_t offset, std::uint64_t& expected,
+                      std::uint64_t desired) override {
+    return group_.fabric_.atomic_cas_u64(pe_, dst, offset, expected, desired);
+  }
+
+  bool try_send(pe_id dst, ByteBuffer& buf) override {
+    return group_.fabric_.try_send(pe_, dst, buf);
+  }
+  bool poll(FabricMessage& out) override { return group_.fabric_.poll(pe_, out); }
+  [[nodiscard]] bool inbox_empty() const override {
+    return group_.fabric_.inbox_empty(pe_);
+  }
+
+  void barrier() override { group_.fabric_.barrier(pe_); }
+  VirtualClock& clock() override { return group_.fabric_.clock(pe_); }
+  [[nodiscard]] const PerfParams& params() const override {
+    return group_.fabric_.params();
+  }
+  void charge(double ns) override { group_.fabric_.charge(pe_, ns); }
+  [[nodiscard]] bool remote_to(pe_id dst) const override {
+    return !group_.fabric_.mapping().same_node(pe_, dst);
+  }
+
+ private:
+  ShmemLamellaeGroup& group_;
+  pe_id pe_;
+};
+
+}  // namespace lamellar

@@ -1,0 +1,10 @@
+#include "lamellae/smp_lamellae.hpp"
+
+namespace lamellar {
+
+SmpLamellae::SmpLamellae(ShmemLamellaeGroup::Layout layout, bool virtual_time)
+    : group_(std::make_unique<ShmemLamellaeGroup>(
+          1, layout, paper_perf_params(), PeMapping{1}, virtual_time)),
+      inner_(group_->endpoint(0)) {}
+
+}  // namespace lamellar

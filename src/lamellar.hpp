@@ -1,0 +1,15 @@
+// Umbrella header: the lamellar public API.
+//
+// The C++ analogue of the Rust crate's prelude modules:
+//   use lamellar::active_messaging::prelude::*;
+//   use lamellar::array::prelude::*;
+#pragma once
+
+#include "common/config.hpp"
+#include "common/rng.hpp"
+#include "core/am/am_engine.hpp"
+#include "core/array/arrays.hpp"
+#include "core/darc/darc.hpp"
+#include "core/memregion/onesided_region.hpp"
+#include "core/memregion/shared_region.hpp"
+#include "core/world/world.hpp"

@@ -1,0 +1,24 @@
+#include "sim/engine.hpp"
+
+#include "common/error.hpp"
+
+namespace lamellar::sim {
+
+void Simulator::at(sim_time t, UniqueFunction<void()> fn) {
+  if (t < now_) throw Error("Simulator: event scheduled in the past");
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+sim_time Simulator::run() {
+  while (!queue_.empty()) {
+    // priority_queue::top() is const; the event must be moved out.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.t;
+    ++executed_;
+    ev.fn();
+  }
+  return now_;
+}
+
+}  // namespace lamellar::sim

@@ -1,0 +1,70 @@
+// Minimal discrete-event engine used by the cluster model.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "common/unique_function.hpp"
+
+namespace lamellar::sim {
+
+using sim_time = double;  ///< nanoseconds
+
+class Simulator {
+ public:
+  /// Schedule `fn` at absolute time `t` (>= now).
+  void at(sim_time t, UniqueFunction<void()> fn);
+
+  /// Schedule `fn` after `dt`.
+  void after(sim_time dt, UniqueFunction<void()> fn) { at(now_ + dt, std::move(fn)); }
+
+  /// Run until the event queue empties; returns the final time.
+  sim_time run();
+
+  [[nodiscard]] sim_time now() const { return now_; }
+  [[nodiscard]] std::size_t executed() const { return executed_; }
+
+ private:
+  struct Event {
+    sim_time t;
+    std::uint64_t seq;
+    UniqueFunction<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.t > b.t || (a.t == b.t && a.seq > b.seq);
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  sim_time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::size_t executed_ = 0;
+};
+
+/// A serially reusable resource (NIC port, core, uplink): serves requests
+/// one at a time in arrival order; `serve` returns the completion time.
+class Resource {
+ public:
+  /// Request service of `duration` starting no earlier than `t`.
+  sim_time serve(sim_time t, sim_time duration) {
+    const sim_time start = t > busy_until_ ? t : busy_until_;
+    busy_until_ = start + duration;
+    busy_time_ += duration;
+    return busy_until_;
+  }
+
+  [[nodiscard]] sim_time busy_until() const { return busy_until_; }
+  [[nodiscard]] sim_time busy_time() const { return busy_time_; }
+  void reset() {
+    busy_until_ = 0;
+    busy_time_ = 0;
+  }
+
+ private:
+  sim_time busy_until_ = 0;
+  sim_time busy_time_ = 0;
+};
+
+}  // namespace lamellar::sim

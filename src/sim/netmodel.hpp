@@ -1,0 +1,48 @@
+// Flow-level cluster network model for the scaling studies (Figs. 3-5).
+//
+// The workloads are symmetric uniform all-to-alls, so one representative
+// node's pipeline — per-PE buffer production (CPU), NIC injection (shared by
+// the node's PEs), rack uplinks (shared by the rack's nodes when traffic
+// crosses racks), and receive-side handler cores — determines the makespan.
+// The buffer stream is replayed through the discrete-event engine's serial
+// resources so queueing/ramp effects are captured, and the per-op costs come
+// from the same PerfParams the live fabric charges.
+#pragma once
+
+#include "fabric/perf_model.hpp"
+#include "fabric/topology.hpp"
+#include "sim/engine.hpp"
+
+namespace lamellar::sim {
+
+/// One implementation's traffic as seen by a single node.
+struct NodeTraffic {
+  double ops_per_node = 0;         ///< kernel operations issued per node
+  double bytes_per_op = 8;         ///< payload bytes per op on the wire
+  double cpu_per_op_ns = 4;        ///< origin-side per-op CPU
+  double handler_per_op_ns = 3;    ///< target-side per-op CPU
+  double buffer_ops = 10'000;      ///< ops per aggregated message
+  double send_overhead_ns = 1500;  ///< per-buffer origin cost (alloc/post)
+  double recv_overhead_ns = 800;   ///< per-buffer target cost (dispatch)
+  double cores_for_cpu = 64;       ///< cores available to generate/handle
+  double wire_amplification = 1.0; ///< >1 for multi-hop routing
+  double reply_bytes_per_op = 0;   ///< response traffic (IndexGather)
+  double barrier_per_round_ns = 0; ///< BSP synchronization per buffer round
+  double rounds = 0;               ///< BSP rounds (0 = asynchronous)
+};
+
+struct NodeResult {
+  double makespan_ns = 0;
+  double nic_utilization = 0;
+  double cpu_utilization = 0;
+};
+
+/// Simulate one node's steady-state execution of `traffic` on `cluster`
+/// with `nodes` participating nodes; returns the makespan.
+NodeResult simulate_node(const ClusterSpec& cluster, std::size_t nodes,
+                         const NodeTraffic& traffic);
+
+/// Fraction of uniform all-to-all traffic that crosses rack boundaries.
+double cross_rack_fraction(const ClusterSpec& cluster, std::size_t nodes);
+
+}  // namespace lamellar::sim

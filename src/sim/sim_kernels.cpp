@@ -1,0 +1,163 @@
+#include "sim/sim_kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/types.hpp"
+#include "sim/netmodel.hpp"
+
+namespace lamellar::sim {
+
+std::vector<std::size_t> paper_core_counts() {
+  return {64, 128, 256, 512, 1024, 2048};
+}
+
+namespace {
+
+/// Build the node traffic for a kernel phase: `ops_per_core` operations per
+/// core, uniformly addressed, carried by the implementation's protocol.
+NodeTraffic build_traffic(const ImplProfile& prof, const ClusterSpec& cluster,
+                          std::size_t cores, std::size_t ops_per_core,
+                          std::size_t agg_limit, double reply_bytes,
+                          bool reply_handled) {
+  const double nodes = std::max<double>(
+      1.0, static_cast<double>(cores) / cluster.cores_per_node);
+  const double total_pes = prof.pes_per_node * nodes;
+  const double ops_per_pe =
+      static_cast<double>(ops_per_core) * cluster.cores_per_node /
+      prof.pes_per_node;
+
+  // Aggregation partners per PE: everyone, or 2*sqrt(P) for two-hop.
+  const double partners =
+      (prof.two_hop ? std::max(2.0, 2.0 * std::sqrt(total_pes))
+                    : std::max(1.0, total_pes - 1)) *
+      prof.partner_multiplier;
+  const double fill = ops_per_pe / partners;
+  const double buffer_ops =
+      std::clamp(fill, 1.0, static_cast<double>(agg_limit));
+
+  // Endpoint pressure once traffic spans multiple racks.
+  const double racks =
+      std::ceil(nodes / static_cast<double>(cluster.nodes_per_rack));
+  const double rack_mult =
+      1.0 + prof.rack_penalty * std::max(0.0, racks - 1.0);
+
+  NodeTraffic t;
+  t.ops_per_node =
+      static_cast<double>(ops_per_core) * cluster.cores_per_node;
+  t.bytes_per_op = prof.bytes_per_op;
+  t.wire_amplification = prof.wire_amplification;
+  t.reply_bytes_per_op = reply_bytes;
+  t.cpu_per_op_ns = prof.cpu_per_op_ns;
+  t.handler_per_op_ns =
+      prof.handler_per_op_ns + (reply_handled ? reply_bytes * 0.25 : 0.0);
+  t.buffer_ops = buffer_ops;
+  t.send_overhead_ns = prof.send_overhead_ns * rack_mult;
+  t.recv_overhead_ns = prof.recv_overhead_ns * rack_mult;
+  t.cores_for_cpu =
+      static_cast<double>(cluster.cores_per_node) * prof.duplex_cores_frac;
+
+  if (prof.bulk_synchronous) {
+    // An exchange round fires when one per-partner buffer fills, i.e. every
+    // buffer_ops * partners pushes; each round pays two barriers whose cost
+    // grows with log2(P).
+    t.rounds = std::max(1.0, ops_per_pe / (buffer_ops * partners));
+    t.barrier_per_round_ns =
+        2.0 * (1'000.0 * std::log2(std::max(2.0, total_pes)) + 2'000.0);
+  }
+  return t;
+}
+
+double mups(double total_ops, double makespan_ns) {
+  return total_ops / makespan_ns * 1000.0;
+}
+
+}  // namespace
+
+std::vector<ScalingPoint> model_histogram(
+    bale::Backend backend, const std::vector<std::size_t>& cores,
+    const ScalingParams& params) {
+  const ImplProfile prof = profile_for(backend);
+  std::vector<ScalingPoint> out;
+  for (auto c : cores) {
+    const std::size_t nodes =
+        std::max<std::size_t>(1, c / params.cluster.cores_per_node);
+    auto traffic = build_traffic(prof, params.cluster, c,
+                                 params.updates_per_core, params.agg_limit,
+                                 /*reply_bytes=*/0.0, false);
+    auto r = simulate_node(params.cluster, nodes, traffic);
+    const double total_ops =
+        static_cast<double>(params.updates_per_core) * static_cast<double>(c);
+    out.push_back({c, mups(total_ops, r.makespan_ns)});
+  }
+  return out;
+}
+
+std::vector<ScalingPoint> model_indexgather(
+    bale::Backend backend, const std::vector<std::size_t>& cores,
+    const ScalingParams& params) {
+  ImplProfile prof = profile_for(backend);
+  double reply_bytes = 8.0;
+  bool reply_handled = true;
+  if (backend == bale::Backend::kChapel) {
+    // CopyAggregator resolves gathers with one-sided RDMA: no remote
+    // handler work and no software reply path (paper Sec. IV-B2).
+    reply_handled = false;
+    prof.handler_per_op_ns = 0.4;
+    prof.send_overhead_ns *= 0.6;
+  }
+  // Requests carry index+tag.
+  prof.bytes_per_op = std::max(prof.bytes_per_op, 16.0);
+
+  std::vector<ScalingPoint> out;
+  for (auto c : cores) {
+    const std::size_t nodes =
+        std::max<std::size_t>(1, c / params.cluster.cores_per_node);
+    ImplProfile point_prof = prof;
+    if (backend == bale::Backend::kLamellarAm && nodes > 1) {
+      // The hand-rolled AM gather cannot overlap its request stream with
+      // the returned-value stream on the NIC the way the runtime's array
+      // path does ("the runtime based aggregation is better able to
+      // balance both sending and receiving data simultaneously",
+      // Sec. IV-B2) — the Fig. 4 reversal vs Fig. 3.
+      point_prof.wire_amplification = 1.5;
+    }
+    auto traffic = build_traffic(point_prof, params.cluster, c,
+                                 params.updates_per_core, params.agg_limit,
+                                 reply_bytes, reply_handled);
+    auto r = simulate_node(params.cluster, nodes, traffic);
+    const double total_ops =
+        static_cast<double>(params.updates_per_core) * static_cast<double>(c);
+    out.push_back({c, mups(total_ops, r.makespan_ns)});
+  }
+  return out;
+}
+
+std::vector<ScalingPoint> model_randperm(
+    bale::RandpermImpl impl, const std::vector<std::size_t>& cores,
+    const ScalingParams& params) {
+  const ImplProfile prof = profile_for(impl);
+  const double throws = randperm_throws_per_element(impl);
+  std::vector<ScalingPoint> out;
+  for (auto c : cores) {
+    const std::size_t nodes =
+        std::max<std::size_t>(1, c / params.cluster.cores_per_node);
+    const auto ops_per_core = static_cast<std::size_t>(
+        static_cast<double>(params.perm_per_core) * throws);
+    auto traffic = build_traffic(prof, params.cluster, c, ops_per_core,
+                                 params.agg_limit, /*reply_bytes=*/0.0, false);
+    // Dart retries add round-trip latency chains: ~log2 rounds of shrinking
+    // batches, each paying a network round trip.
+    const double retry_rounds =
+        impl == bale::RandpermImpl::kAmPush ? 0.0 : 5.0;
+    auto r = simulate_node(params.cluster, nodes, traffic);
+    const double seconds =
+        (r.makespan_ns +
+         retry_rounds * 2.0 * params.cluster.intra_rack_latency_ns) /
+        1e9;
+    out.push_back({c, seconds});
+  }
+  return out;
+}
+
+}  // namespace lamellar::sim

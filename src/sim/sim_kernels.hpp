@@ -1,0 +1,43 @@
+// Cluster-scale kernel models: regenerate the paper's Figs. 3-5 series at
+// 64-2048 cores by combining each implementation's protocol structure
+// (sim/strategies) with the node pipeline model (sim/netmodel) over the
+// paper's cluster (fabric/topology).
+#pragma once
+
+#include <vector>
+
+#include "sim/strategies.hpp"
+
+namespace lamellar::sim {
+
+struct ScalingPoint {
+  std::size_t cores = 0;
+  double value = 0;  ///< MUPS for Figs. 3-4; seconds for Fig. 5
+};
+
+struct ScalingParams {
+  std::size_t updates_per_core = 10'000'000;  ///< paper: 10M (Figs. 3-4)
+  std::size_t perm_per_core = 1'000'000;      ///< paper: 1M (Fig. 5)
+  std::size_t agg_limit = 10'000;
+  ClusterSpec cluster = paper_cluster();
+};
+
+/// Fig. 3: aggregate MUPS (higher is better) per core count.
+std::vector<ScalingPoint> model_histogram(bale::Backend backend,
+                                          const std::vector<std::size_t>& cores,
+                                          const ScalingParams& params = {});
+
+/// Fig. 4: aggregate MUPS for IndexGather.
+std::vector<ScalingPoint> model_indexgather(
+    bale::Backend backend, const std::vector<std::size_t>& cores,
+    const ScalingParams& params = {});
+
+/// Fig. 5: running time in seconds (lower is better).
+std::vector<ScalingPoint> model_randperm(
+    bale::RandpermImpl impl, const std::vector<std::size_t>& cores,
+    const ScalingParams& params = {});
+
+/// The core counts used in the paper's scaling figures.
+std::vector<std::size_t> paper_core_counts();
+
+}  // namespace lamellar::sim

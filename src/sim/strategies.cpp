@@ -1,0 +1,132 @@
+#include "sim/strategies.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace lamellar::sim {
+
+ImplProfile profile_for(bale::Backend backend) {
+  ImplProfile p;
+  switch (backend) {
+    case bale::Backend::kLamellarAm:
+      // Hand-aggregated AMs: 16 PEs/node, lean per-buffer path, but the
+      // origin thread manages its own buffers (reduced duplex overlap).
+      p.pes_per_node = 16;
+      p.send_overhead_ns = 1'600;
+      p.recv_overhead_ns = 900;
+      p.cpu_per_op_ns = 4.5;
+      p.handler_per_op_ns = 2.5;
+      p.duplex_cores_frac = 0.45;
+      p.rack_penalty = 0.04;
+      return p;
+    case bale::Backend::kLamellarArray:
+      // Runtime batching: sub-batch creation, multi-threaded dispatch and
+      // internal AM machinery add per-buffer overhead that grows relative
+      // as buffers shrink with PE count (paper Sec. IV-B1 discussion).
+      p.pes_per_node = 16;
+      p.send_overhead_ns = 7'500;
+      p.recv_overhead_ns = 2'600;
+      p.cpu_per_op_ns = 5.5;
+      p.handler_per_op_ns = 3.0;
+      p.duplex_cores_frac = 1.0;
+      p.rack_penalty = 0.04;
+      return p;
+    case bale::Backend::kExstack:
+      p.pes_per_node = 64;
+      p.send_overhead_ns = 2'000;
+      p.recv_overhead_ns = 900;
+      p.cpu_per_op_ns = 4.0;
+      p.handler_per_op_ns = 2.5;
+      p.bulk_synchronous = true;
+      p.rack_penalty = 0.55;
+      return p;
+    case bale::Backend::kExstack2:
+      p.pes_per_node = 64;
+      p.send_overhead_ns = 2'300;
+      p.recv_overhead_ns = 1'000;
+      p.cpu_per_op_ns = 4.2;
+      p.handler_per_op_ns = 2.6;
+      p.rack_penalty = 0.55;
+      return p;
+    case bale::Backend::kConveyor:
+      // Two hops double the wire traffic but buffers stay large (partners
+      // = 2*sqrt(P)) and the footprint small: flat scaling.
+      p.pes_per_node = 64;
+      p.two_hop = true;
+      p.send_overhead_ns = 1'900;
+      p.recv_overhead_ns = 950;
+      p.cpu_per_op_ns = 4.5;
+      p.handler_per_op_ns = 3.2;  // includes forwarding work
+      p.bytes_per_op = 16;        // routed envelope
+      p.wire_amplification = 1.6; // second hop partially intra-node
+      p.rack_penalty = 0.12;
+      return p;
+    case bale::Backend::kSelector:
+      p.pes_per_node = 64;
+      p.send_overhead_ns = 3'000;
+      p.recv_overhead_ns = 1'400;
+      p.cpu_per_op_ns = 5.5;   // actor envelope
+      p.handler_per_op_ns = 4.0;
+      p.bytes_per_op = 16;
+      p.rack_penalty = 0.50;
+      return p;
+    case bale::Backend::kChapel:
+      p.pes_per_node = 4;  // locales (paper: best of 1-8)
+      p.send_overhead_ns = 2'400;
+      p.recv_overhead_ns = 1'100;
+      p.cpu_per_op_ns = 5.0;
+      p.handler_per_op_ns = 3.0;
+      p.rack_penalty = 0.08;
+      return p;
+  }
+  throw Error("unknown backend profile");
+}
+
+ImplProfile profile_for(bale::RandpermImpl impl) {
+  switch (impl) {
+    case bale::RandpermImpl::kArrayDarts: {
+      auto p = profile_for(bale::Backend::kLamellarArray);
+      p.bytes_per_op = 16;  // slot + value
+      return p;
+    }
+    case bale::RandpermImpl::kAmDart: {
+      auto p = profile_for(bale::Backend::kLamellarAm);
+      p.bytes_per_op = 16;
+      return p;
+    }
+    case bale::RandpermImpl::kAmDartOpt: {
+      auto p = profile_for(bale::Backend::kLamellarAm);
+      p.bytes_per_op = 16;
+      p.handler_per_op_ns = 4.0;  // owner-side local retries
+      return p;
+    }
+    case bale::RandpermImpl::kAmPush: {
+      auto p = profile_for(bale::Backend::kLamellarAm);
+      p.bytes_per_op = 8;         // value only; throws never fail
+      p.handler_per_op_ns = 2.0;  // append
+      return p;
+    }
+    case bale::RandpermImpl::kExstack: {
+      auto p = profile_for(bale::Backend::kExstack);
+      p.bytes_per_op = 24;  // kind + slot + value
+      return p;
+    }
+  }
+  throw Error("unknown randperm profile");
+}
+
+double randperm_throws_per_element(bale::RandpermImpl impl) {
+  switch (impl) {
+    case bale::RandpermImpl::kAmPush:
+      return 1.0;  // pushes never fail
+    case bale::RandpermImpl::kAmDartOpt:
+      return 1.08;  // remote retry only when a PE fills (rare)
+    default:
+      // Dart throwing into a 2x target: expected total throws
+      // sum_k N_k with N_{k+1} = N_k * (occupied fraction) -> ~2 ln 2.
+      return 2.0 * std::log(2.0);
+  }
+}
+
+}  // namespace lamellar::sim

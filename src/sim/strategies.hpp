@@ -1,0 +1,77 @@
+// Per-implementation protocol structure for the scaling models (Figs. 3-5).
+//
+// Each implementation is described by how it actually moves data — PEs per
+// node, aggregation partners (which fixes the achievable buffer fill when
+// each PE's operations spread over more destinations), per-buffer and
+// per-op costs, BSP rounds, duplex parallelism — and the model derives node
+// traffic from those structures.  Values are calibrated so the 2-PE live
+// measurements and the paper's reported orderings are reproduced; the
+// *shape* of every curve comes from the structure, not from per-point
+// tuning.
+#pragma once
+
+#include <cstddef>
+
+#include "bale/common.hpp"
+#include "bale/randperm.hpp"
+#include "fabric/topology.hpp"
+
+namespace lamellar::sim {
+
+struct ImplProfile {
+  /// PEs (processes) per node: OpenSHMEM-class runs one per core (64);
+  /// Lamellar one per NUMA domain (16, paper Sec. IV-B); Chapel a handful
+  /// of locales (paper: 1-8; 4 is used here).
+  double pes_per_node = 64;
+
+  /// Aggregation partners per PE as a function of total PEs P: P for
+  /// direct aggregation, 2*sqrt(P) for Conveyors' two hops.
+  bool two_hop = false;
+
+  /// Per-buffer origin cost (allocation, descriptor posting, runtime
+  /// batching machinery) and target cost (dispatch, task spawn), ns.
+  double send_overhead_ns = 2'000;
+  double recv_overhead_ns = 1'000;
+
+  /// Per-op CPU costs, ns (single thread).
+  double cpu_per_op_ns = 5;
+  double handler_per_op_ns = 3;
+
+  /// Wire bytes per op (item encoding).
+  double bytes_per_op = 8;
+  double wire_amplification = 1.0;  ///< conveyors traverse two hops
+
+  /// Fraction of node cores usable for origin/target processing (duplex
+  /// parallelism: runtime-managed thread pools overlap send and receive;
+  /// hand-rolled single-threaded loops do not).
+  double duplex_cores_frac = 1.0;
+
+  /// Endpoint/connection-state pressure: per-buffer overhead multiplier per
+  /// additional rack in use (the effect behind the paper's observation that
+  /// the OpenSHMEM implementations degrade at 2048 cores / 4 racks).
+  double rack_penalty = 0.0;
+
+  /// Bulk-synchronous: barrier cost charged per exchange round.
+  bool bulk_synchronous = false;
+
+  /// Effective partner multiplier: >1 when the implementation must split
+  /// its buffer budget (e.g. the hand-rolled AM IndexGather keeps request
+  /// and response buffers per destination, halving the fill each achieves).
+  double partner_multiplier = 1.0;
+
+  /// IndexGather: responses produced by remote handler (0 for Chapel's
+  /// one-sided RDMA gather).
+  bool handler_produces_reply = true;
+};
+
+/// Profile for one Fig. 3/4 backend.
+ImplProfile profile_for(bale::Backend backend);
+
+/// Profile for one Fig. 5 Randperm implementation.
+ImplProfile profile_for(bale::RandpermImpl impl);
+
+/// Number of dart throws per permutation element for a Randperm variant
+/// (retries included; target array is 2N).
+double randperm_throws_per_element(bale::RandpermImpl impl);
+
+}  // namespace lamellar::sim

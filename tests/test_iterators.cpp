@@ -1,0 +1,203 @@
+// Iterator tests: local/distributed parallel iteration with adapters, and
+// the serial one-sided iterator (paper Sec. III-F4).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "lamellar.hpp"
+
+namespace {
+
+using namespace lamellar;
+
+// Fill arr[i] = i via put from PE 0.
+template <typename A>
+void fill_iota(World& world, A& arr) {
+  if (world.my_pe() == 0) {
+    std::vector<std::uint64_t> vals(arr.len());
+    std::iota(vals.begin(), vals.end(), 0);
+    world.block_on(arr.put(0, vals));
+  }
+  world.barrier();
+}
+
+TEST(Iter, LocalForEachCoversLocalElements) {
+  run_world(4, [](World& world) {
+    auto arr =
+        AtomicArray<std::uint64_t>::create(world, 64, Distribution::kBlock);
+    fill_iota(world, arr);
+    std::atomic<std::uint64_t> local_sum{0};
+    auto fut = arr.local_iter().for_each(
+        [&](std::uint64_t v) { local_sum.fetch_add(v); });
+    world.block_on(std::move(fut));
+    // Block layout: PE p owns [16p, 16p+16).
+    const std::uint64_t base = world.my_pe() * 16;
+    const std::uint64_t expect = 16 * base + (15 * 16) / 2;
+    EXPECT_EQ(local_sum.load(), expect);
+    world.barrier();
+  });
+}
+
+TEST(Iter, DistForEachCoversAllElementsOnce) {
+  run_world(4, [](World& world) {
+    auto arr =
+        AtomicArray<std::uint64_t>::create(world, 40, Distribution::kCyclic);
+    fill_iota(world, arr);
+    auto marks =
+        AtomicArray<std::uint64_t>::create(world, 40, Distribution::kBlock);
+    marks.fill(0);
+    auto fut = arr.dist_iter().enumerate().for_each(
+        [&](std::pair<global_index, std::uint64_t> e) {
+          EXPECT_EQ(e.first, e.second);  // value equals global index
+          marks.add(e.first, 1);
+        });
+    world.block_on(std::move(fut));
+    world.wait_all();
+    world.barrier();
+    EXPECT_EQ(world.block_on(marks.sum()), 40u);
+    EXPECT_EQ(world.block_on(marks.max()), 1u);  // each exactly once
+    world.barrier();
+  });
+}
+
+TEST(Iter, MapFilterChain) {
+  run_world(2, [](World& world) {
+    auto arr =
+        AtomicArray<std::uint64_t>::create(world, 16, Distribution::kBlock);
+    fill_iota(world, arr);
+    auto evens_doubled = arr.local_iter()
+                             .filter([](std::uint64_t v) { return v % 2 == 0; })
+                             .map([](std::uint64_t v) { return v * 2; })
+                             .collect_vec_local();
+    // PE0 locals 0..7 -> evens {0,2,4,6} doubled {0,4,8,12}.
+    const std::uint64_t base = world.my_pe() * 8;
+    std::vector<std::uint64_t> expect;
+    for (std::uint64_t v = base; v < base + 8; ++v) {
+      if (v % 2 == 0) expect.push_back(v * 2);
+    }
+    EXPECT_EQ(evens_doubled, expect);
+    world.barrier();
+  });
+}
+
+TEST(Iter, PositionSelectors) {
+  run_world(2, [](World& world) {
+    auto arr =
+        AtomicArray<std::uint64_t>::create(world, 16, Distribution::kBlock);
+    fill_iota(world, arr);
+    auto picked =
+        arr.local_iter().skip(1).step_by(3).collect_vec_local();
+    const std::uint64_t base = world.my_pe() * 8;
+    EXPECT_EQ(picked,
+              (std::vector<std::uint64_t>{base + 1, base + 4, base + 7}));
+    auto limited = arr.local_iter().take(2).collect_vec_local();
+    EXPECT_EQ(limited, (std::vector<std::uint64_t>{base, base + 1}));
+    world.barrier();
+  });
+}
+
+TEST(Iter, SelectorAfterMapThrows) {
+  run_world(1, [](World& world) {
+    auto arr =
+        AtomicArray<std::uint64_t>::create(world, 8, Distribution::kBlock);
+    EXPECT_THROW(
+        arr.local_iter().map([](std::uint64_t v) { return v; }).take(2),
+        Error);
+  });
+}
+
+TEST(Iter, FoldLocal) {
+  run_world(2, [](World& world) {
+    auto arr =
+        AtomicArray<std::uint64_t>::create(world, 10, Distribution::kBlock);
+    fill_iota(world, arr);
+    auto total = arr.local_iter().fold_local<std::uint64_t>(
+        0, [](std::uint64_t acc, std::uint64_t v) { return acc + v; });
+    std::uint64_t expect = 0;
+    auto [lo, hi] = world.my_pe() == 0 ? std::pair<std::uint64_t, std::uint64_t>{0, 5}
+                                       : std::pair<std::uint64_t, std::uint64_t>{5, 10};
+    for (auto v = lo; v < hi; ++v) expect += v;
+    EXPECT_EQ(total, expect);
+    world.barrier();
+  });
+}
+
+TEST(Iter, OneSidedSerialWholeArray) {
+  run_world(4, [](World& world) {
+    auto arr =
+        AtomicArray<std::uint64_t>::create(world, 37, Distribution::kBlock);
+    fill_iota(world, arr);
+    if (world.my_pe() == 2) {
+      auto iter = arr.onesided_iter(8);  // small buffer: many refills
+      std::uint64_t expect = 0;
+      while (auto v = iter.next()) {
+        EXPECT_EQ(*v, expect);
+        ++expect;
+      }
+      EXPECT_EQ(expect, 37u);
+    }
+    world.barrier();
+  });
+}
+
+TEST(Iter, OneSidedChunksAndStep) {
+  run_world(2, [](World& world) {
+    auto arr =
+        AtomicArray<std::uint64_t>::create(world, 20, Distribution::kCyclic);
+    fill_iota(world, arr);
+    if (world.my_pe() == 0) {
+      auto iter = arr.onesided_iter(4);
+      iter.step_by(5);
+      auto vals = iter.collect_vec();
+      EXPECT_EQ(vals, (std::vector<std::uint64_t>{0, 5, 10, 15}));
+
+      auto iter2 = arr.onesided_iter(64);
+      iter2.skip(17);
+      auto chunk = iter2.next_chunk(10);
+      EXPECT_EQ(chunk, (std::vector<std::uint64_t>{17, 18, 19}));
+    }
+    world.barrier();
+  });
+}
+
+TEST(Iter, SubArrayIteratesOnlyView) {
+  run_world(2, [](World& world) {
+    auto arr =
+        AtomicArray<std::uint64_t>::create(world, 20, Distribution::kBlock);
+    fill_iota(world, arr);
+    auto view = arr.sub_array(5, 10);
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sum{0};
+    world.block_on(view.local_iter().for_each([&](std::uint64_t v) {
+      count.fetch_add(1);
+      sum.fetch_add(v);
+    }));
+    world.barrier();
+    // PE0 owns globals 0..9 -> view covers 5..9; PE1 owns 10..19 -> 10..14.
+    if (world.my_pe() == 0) {
+      EXPECT_EQ(count.load(), 5u);
+      EXPECT_EQ(sum.load(), 5u + 6 + 7 + 8 + 9);
+    } else {
+      EXPECT_EQ(count.load(), 5u);
+      EXPECT_EQ(sum.load(), 10u + 11 + 12 + 13 + 14);
+    }
+    world.barrier();
+  });
+}
+
+TEST(Iter, OneSidedOnSubArray) {
+  run_world(2, [](World& world) {
+    auto arr =
+        AtomicArray<std::uint64_t>::create(world, 20, Distribution::kBlock);
+    fill_iota(world, arr);
+    if (world.my_pe() == 1) {
+      auto view = arr.sub_array(8, 6);
+      auto vals = view.onesided_iter(2).collect_vec();
+      EXPECT_EQ(vals, (std::vector<std::uint64_t>{8, 9, 10, 11, 12, 13}));
+    }
+    world.barrier();
+  });
+}
+
+}  // namespace
