@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_agg_threshold.dir/ablation_agg_threshold.cpp.o"
+  "CMakeFiles/ablation_agg_threshold.dir/ablation_agg_threshold.cpp.o.d"
+  "ablation_agg_threshold"
+  "ablation_agg_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_agg_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

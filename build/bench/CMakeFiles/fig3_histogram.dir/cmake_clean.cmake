@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_histogram.dir/fig3_histogram.cpp.o"
+  "CMakeFiles/fig3_histogram.dir/fig3_histogram.cpp.o.d"
+  "fig3_histogram"
+  "fig3_histogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

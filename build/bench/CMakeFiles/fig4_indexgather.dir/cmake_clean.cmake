@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_indexgather.dir/fig4_indexgather.cpp.o"
+  "CMakeFiles/fig4_indexgather.dir/fig4_indexgather.cpp.o.d"
+  "fig4_indexgather"
+  "fig4_indexgather.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_indexgather.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

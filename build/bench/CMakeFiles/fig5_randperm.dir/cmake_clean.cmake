@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_randperm.dir/fig5_randperm.cpp.o"
+  "CMakeFiles/fig5_randperm.dir/fig5_randperm.cpp.o.d"
+  "fig5_randperm"
+  "fig5_randperm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_randperm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/indexgather.dir/indexgather.cpp.o"
+  "CMakeFiles/indexgather.dir/indexgather.cpp.o.d"
+  "indexgather"
+  "indexgather.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/indexgather.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/randperm.dir/randperm.cpp.o"
+  "CMakeFiles/randperm.dir/randperm.cpp.o.d"
+  "randperm"
+  "randperm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/randperm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

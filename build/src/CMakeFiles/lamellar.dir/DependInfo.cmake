@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bale/histogram.cpp" "src/CMakeFiles/lamellar.dir/bale/histogram.cpp.o" "gcc" "src/CMakeFiles/lamellar.dir/bale/histogram.cpp.o.d"
+  "/root/repo/src/bale/indexgather.cpp" "src/CMakeFiles/lamellar.dir/bale/indexgather.cpp.o" "gcc" "src/CMakeFiles/lamellar.dir/bale/indexgather.cpp.o.d"
+  "/root/repo/src/bale/randperm.cpp" "src/CMakeFiles/lamellar.dir/bale/randperm.cpp.o" "gcc" "src/CMakeFiles/lamellar.dir/bale/randperm.cpp.o.d"
+  "/root/repo/src/common/bytes.cpp" "src/CMakeFiles/lamellar.dir/common/bytes.cpp.o" "gcc" "src/CMakeFiles/lamellar.dir/common/bytes.cpp.o.d"
+  "/root/repo/src/common/config.cpp" "src/CMakeFiles/lamellar.dir/common/config.cpp.o" "gcc" "src/CMakeFiles/lamellar.dir/common/config.cpp.o.d"
+  "/root/repo/src/common/error.cpp" "src/CMakeFiles/lamellar.dir/common/error.cpp.o" "gcc" "src/CMakeFiles/lamellar.dir/common/error.cpp.o.d"
+  "/root/repo/src/core/am/am_engine.cpp" "src/CMakeFiles/lamellar.dir/core/am/am_engine.cpp.o" "gcc" "src/CMakeFiles/lamellar.dir/core/am/am_engine.cpp.o.d"
+  "/root/repo/src/core/am/am_registry.cpp" "src/CMakeFiles/lamellar.dir/core/am/am_registry.cpp.o" "gcc" "src/CMakeFiles/lamellar.dir/core/am/am_registry.cpp.o.d"
+  "/root/repo/src/core/array/array_base.cpp" "src/CMakeFiles/lamellar.dir/core/array/array_base.cpp.o" "gcc" "src/CMakeFiles/lamellar.dir/core/array/array_base.cpp.o.d"
+  "/root/repo/src/core/darc/darc.cpp" "src/CMakeFiles/lamellar.dir/core/darc/darc.cpp.o" "gcc" "src/CMakeFiles/lamellar.dir/core/darc/darc.cpp.o.d"
+  "/root/repo/src/core/memregion/memregion.cpp" "src/CMakeFiles/lamellar.dir/core/memregion/memregion.cpp.o" "gcc" "src/CMakeFiles/lamellar.dir/core/memregion/memregion.cpp.o.d"
+  "/root/repo/src/core/scheduler/future.cpp" "src/CMakeFiles/lamellar.dir/core/scheduler/future.cpp.o" "gcc" "src/CMakeFiles/lamellar.dir/core/scheduler/future.cpp.o.d"
+  "/root/repo/src/core/scheduler/thread_pool.cpp" "src/CMakeFiles/lamellar.dir/core/scheduler/thread_pool.cpp.o" "gcc" "src/CMakeFiles/lamellar.dir/core/scheduler/thread_pool.cpp.o.d"
+  "/root/repo/src/core/world/world.cpp" "src/CMakeFiles/lamellar.dir/core/world/world.cpp.o" "gcc" "src/CMakeFiles/lamellar.dir/core/world/world.cpp.o.d"
+  "/root/repo/src/fabric/perf_model.cpp" "src/CMakeFiles/lamellar.dir/fabric/perf_model.cpp.o" "gcc" "src/CMakeFiles/lamellar.dir/fabric/perf_model.cpp.o.d"
+  "/root/repo/src/fabric/shmem_fabric.cpp" "src/CMakeFiles/lamellar.dir/fabric/shmem_fabric.cpp.o" "gcc" "src/CMakeFiles/lamellar.dir/fabric/shmem_fabric.cpp.o.d"
+  "/root/repo/src/fabric/topology.cpp" "src/CMakeFiles/lamellar.dir/fabric/topology.cpp.o" "gcc" "src/CMakeFiles/lamellar.dir/fabric/topology.cpp.o.d"
+  "/root/repo/src/lamellae/cmd_queue.cpp" "src/CMakeFiles/lamellar.dir/lamellae/cmd_queue.cpp.o" "gcc" "src/CMakeFiles/lamellar.dir/lamellae/cmd_queue.cpp.o.d"
+  "/root/repo/src/lamellae/heap.cpp" "src/CMakeFiles/lamellar.dir/lamellae/heap.cpp.o" "gcc" "src/CMakeFiles/lamellar.dir/lamellae/heap.cpp.o.d"
+  "/root/repo/src/lamellae/lamellae.cpp" "src/CMakeFiles/lamellar.dir/lamellae/lamellae.cpp.o" "gcc" "src/CMakeFiles/lamellar.dir/lamellae/lamellae.cpp.o.d"
+  "/root/repo/src/lamellae/shmem_lamellae.cpp" "src/CMakeFiles/lamellar.dir/lamellae/shmem_lamellae.cpp.o" "gcc" "src/CMakeFiles/lamellar.dir/lamellae/shmem_lamellae.cpp.o.d"
+  "/root/repo/src/lamellae/smp_lamellae.cpp" "src/CMakeFiles/lamellar.dir/lamellae/smp_lamellae.cpp.o" "gcc" "src/CMakeFiles/lamellar.dir/lamellae/smp_lamellae.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/CMakeFiles/lamellar.dir/sim/engine.cpp.o" "gcc" "src/CMakeFiles/lamellar.dir/sim/engine.cpp.o.d"
+  "/root/repo/src/sim/netmodel.cpp" "src/CMakeFiles/lamellar.dir/sim/netmodel.cpp.o" "gcc" "src/CMakeFiles/lamellar.dir/sim/netmodel.cpp.o.d"
+  "/root/repo/src/sim/sim_kernels.cpp" "src/CMakeFiles/lamellar.dir/sim/sim_kernels.cpp.o" "gcc" "src/CMakeFiles/lamellar.dir/sim/sim_kernels.cpp.o.d"
+  "/root/repo/src/sim/strategies.cpp" "src/CMakeFiles/lamellar.dir/sim/strategies.cpp.o" "gcc" "src/CMakeFiles/lamellar.dir/sim/strategies.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_am_advanced.dir/test_am_advanced.cpp.o"
+  "CMakeFiles/test_am_advanced.dir/test_am_advanced.cpp.o.d"
+  "test_am_advanced"
+  "test_am_advanced.pdb"
+  "test_am_advanced[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_am_advanced.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bale.dir/test_bale.cpp.o"
+  "CMakeFiles/test_bale.dir/test_bale.cpp.o.d"
+  "test_bale"
+  "test_bale.pdb"
+  "test_bale[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

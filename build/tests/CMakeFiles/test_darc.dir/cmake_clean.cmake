@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_darc.dir/test_darc.cpp.o"
+  "CMakeFiles/test_darc.dir/test_darc.cpp.o.d"
+  "test_darc"
+  "test_darc.pdb"
+  "test_darc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_darc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_iterators.dir/test_iterators.cpp.o"
+  "CMakeFiles/test_iterators.dir/test_iterators.cpp.o.d"
+  "test_iterators"
+  "test_iterators.pdb"
+  "test_iterators[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_iterators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
