@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "lamellar.hpp"
+#include "obs/report.hpp"
 
 namespace {
 
@@ -66,9 +67,10 @@ int main() {
   };
   std::vector<Row> rows;
 
-  RuntimeConfig cfg;
+  RuntimeConfig cfg = RuntimeConfig::from_env();
   cfg.threads_per_pe = 1;
   cfg.symmetric_heap_bytes = 256ULL * 1024 * 1024;
+  obs::MetricsSnapshot snap;
   run_world(
       2,
       [&](World& world) {
@@ -231,8 +233,13 @@ int main() {
                 r.size, r.rofi, r.memregion, r.unchecked, r.unsafe_arr,
                 r.locallock, r.atomic, r.am);
           }
+          snap = world.metrics_snapshot();
         }
       },
       cfg, paper_perf_params(), PeMapping{1});
+  if (cfg.metrics_mode == MetricsMode::kJson) {
+    std::printf("%s\n",
+                obs::bench_json_line("fig2_bandwidth", "all", snap).c_str());
+  }
   return 0;
 }

@@ -9,6 +9,7 @@
 
 #include "bale/indexgather.hpp"
 #include "lamellar.hpp"
+#include "obs/report.hpp"
 #include "sim/sim_kernels.hpp"
 
 using namespace lamellar;
@@ -20,27 +21,39 @@ int main() {
                          Backend::kConveyor,   Backend::kSelector,
                          Backend::kChapel};
 
+  const RuntimeConfig cfg = RuntimeConfig::from_env();
   std::printf(
       "# Fig.4 (a): live in-process indexgather, 4 PEs, virtual time\n");
   std::printf("%-16s %12s %10s\n", "impl", "MUPS", "verified");
   for (auto backend : backends) {
     double mups = 0;
     bool ok = false;
-    run_world(4, [&](World& world) {
-      IndexGatherParams p;
-      p.table_per_pe = 1'000;
-      p.requests_per_pe = env_size("LAMELLAR_FIG4_REQUESTS", 20'000);
-      p.agg_limit = 10'000;
-      auto r = indexgather_kernel(world, backend, p);
-      if (world.my_pe() == 0) {
-        mups = static_cast<double>(r.ops) * world.num_pes() /
-               static_cast<double>(r.elapsed_ns) * 1000.0;
-        ok = r.verified;
-      }
-      world.barrier();
-    });
+    obs::MetricsSnapshot snap;
+    run_world(
+        4,
+        [&](World& world) {
+          IndexGatherParams p;
+          p.table_per_pe = 1'000;
+          p.requests_per_pe = env_size("LAMELLAR_FIG4_REQUESTS", 20'000);
+          p.agg_limit = 10'000;
+          auto r = indexgather_kernel(world, backend, p);
+          if (world.my_pe() == 0) {
+            mups = static_cast<double>(r.ops) * world.num_pes() /
+                   static_cast<double>(r.elapsed_ns) * 1000.0;
+            ok = r.verified;
+            snap = world.metrics_snapshot();
+          }
+          world.barrier();
+        },
+        cfg);
     std::printf("%-16s %12.1f %10s\n", backend_name(backend), mups,
                 ok ? "yes" : "NO");
+    if (cfg.metrics_mode == MetricsMode::kJson) {
+      std::printf("%s\n",
+                  obs::bench_json_line("fig4_indexgather",
+                                       backend_name(backend), snap)
+                      .c_str());
+    }
   }
 
   std::printf(

@@ -8,6 +8,7 @@
 
 #include "bale/randperm.hpp"
 #include "lamellar.hpp"
+#include "obs/report.hpp"
 #include "sim/sim_kernels.hpp"
 
 using namespace lamellar;
@@ -18,24 +19,36 @@ int main() {
                       RandpermImpl::kAmDartOpt, RandpermImpl::kAmPush,
                       RandpermImpl::kExstack};
 
+  const RuntimeConfig cfg = RuntimeConfig::from_env();
   std::printf("# Fig.5 (a): live in-process randperm, 4 PEs, virtual time\n");
   std::printf("%-16s %14s %10s\n", "impl", "time (ms)", "verified");
   for (auto impl : impls) {
     double ms = 0;
     bool ok = false;
-    run_world(4, [&](World& world) {
-      RandpermParams p;
-      p.perm_per_pe = env_size("LAMELLAR_FIG5_PERM", 20'000);
-      p.agg_limit = 10'000;
-      auto r = randperm_kernel(world, impl, p);
-      if (world.my_pe() == 0) {
-        ms = static_cast<double>(r.elapsed_ns) / 1e6;
-        ok = r.verified;
-      }
-      world.barrier();
-    });
+    obs::MetricsSnapshot snap;
+    run_world(
+        4,
+        [&](World& world) {
+          RandpermParams p;
+          p.perm_per_pe = env_size("LAMELLAR_FIG5_PERM", 20'000);
+          p.agg_limit = 10'000;
+          auto r = randperm_kernel(world, impl, p);
+          if (world.my_pe() == 0) {
+            ms = static_cast<double>(r.elapsed_ns) / 1e6;
+            ok = r.verified;
+            snap = world.metrics_snapshot();
+          }
+          world.barrier();
+        },
+        cfg);
     std::printf("%-16s %14.2f %10s\n", randperm_impl_name(impl), ms,
                 ok ? "yes" : "NO");
+    if (cfg.metrics_mode == MetricsMode::kJson) {
+      std::printf("%s\n",
+                  obs::bench_json_line("fig5_randperm",
+                                       randperm_impl_name(impl), snap)
+                      .c_str());
+    }
   }
 
   std::printf(

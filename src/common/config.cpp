@@ -47,6 +47,21 @@ std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
   return std::stoull(v);
 }
 
+std::string env_str(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return v;
+}
+
+MetricsMode parse_metrics_mode(const std::string& s) {
+  if (s == "off") return MetricsMode::kOff;
+  if (s == "quiet") return MetricsMode::kQuiet;
+  if (s == "summary") return MetricsMode::kSummary;
+  if (s == "json") return MetricsMode::kJson;
+  throw std::invalid_argument(
+      "LAMELLAR_METRICS must be off|quiet|summary|json, got: " + s);
+}
+
 RuntimeConfig RuntimeConfig::from_env() {
   RuntimeConfig cfg;
   cfg.threads_per_pe = env_size("LAMELLAR_THREADS", cfg.threads_per_pe);
@@ -61,6 +76,10 @@ RuntimeConfig RuntimeConfig::from_env() {
   cfg.seed = env_u64("LAMELLAR_SEED", cfg.seed);
   cfg.enable_virtual_time =
       env_u64("LAMELLAR_VIRTUAL_TIME", cfg.enable_virtual_time ? 1 : 0) != 0;
+  cfg.metrics_mode = parse_metrics_mode(env_str("LAMELLAR_METRICS", "quiet"));
+  cfg.trace_file = env_str("LAMELLAR_TRACE_FILE", cfg.trace_file);
+  cfg.trace_ring_capacity =
+      env_size("LAMELLAR_TRACE_CAPACITY", cfg.trace_ring_capacity);
   return cfg;
 }
 

@@ -10,6 +10,17 @@
 
 namespace lamellar {
 
+/// What the metrics registry does with collected counters at end of run.
+/// Collection itself is on in every mode except kOff (relaxed atomics on
+/// padded cache lines — cheap enough to leave on), so tests and benches can
+/// always read `world.metrics_snapshot()`.
+enum class MetricsMode {
+  kOff,      ///< registries disabled: zero entries, zero hot-path cost
+  kQuiet,    ///< collect, but print nothing (default)
+  kSummary,  ///< collect + per-PE summary table on stderr at teardown
+  kJson,     ///< collect + JSON dump on stderr at teardown
+};
+
 struct RuntimeConfig {
   /// Worker threads per PE (paper: best results with 4 threads per PE, one
   /// PE per NUMA node).  Default is small because tests run many PEs within
@@ -39,6 +50,20 @@ struct RuntimeConfig {
   /// Whether fabric operations charge virtual time to per-PE clocks.
   bool enable_virtual_time = true;
 
+  /// Metrics collection/reporting mode (env: LAMELLAR_METRICS=
+  /// off|quiet|summary|json; default quiet — collect, print nothing).
+  MetricsMode metrics_mode = MetricsMode::kQuiet;
+
+  /// When non-empty, export a Chrome trace_event JSON file here at end of
+  /// run (env: LAMELLAR_TRACE_FILE=<path>; default off).  Load the file in
+  /// chrome://tracing or https://ui.perfetto.dev.
+  std::string trace_file;
+
+  /// Per-thread trace ring capacity in events, rounded up to a power of
+  /// two; the ring overwrites its oldest events once full
+  /// (env: LAMELLAR_TRACE_CAPACITY; default 65536).
+  std::size_t trace_ring_capacity = 1 << 16;
+
   /// Load overrides from LAMELLAR_* environment variables.
   static RuntimeConfig from_env();
 };
@@ -46,5 +71,7 @@ struct RuntimeConfig {
 /// Parse helpers (exposed for tests).
 std::size_t env_size(const char* name, std::size_t fallback);
 std::uint64_t env_u64(const char* name, std::uint64_t fallback);
+std::string env_str(const char* name, const std::string& fallback);
+MetricsMode parse_metrics_mode(const std::string& s);
 
 }  // namespace lamellar

@@ -24,11 +24,22 @@ ScopedAmSrc::ScopedAmSrc(pe_id src) : prev_(tl_am_src) { tl_am_src = src; }
 ScopedAmSrc::~ScopedAmSrc() { tl_am_src = prev_; }
 
 AmEngine::AmEngine(Lamellae& lamellae, ThreadPool& pool,
-                   const RuntimeConfig& cfg)
+                   const RuntimeConfig& cfg, obs::TraceCollector* tracer)
     : lamellae_(lamellae),
       pool_(pool),
       cfg_(cfg),
-      outgoing_(lamellae, cfg.agg_threshold_bytes) {}
+      outgoing_(lamellae, cfg.agg_threshold_bytes),
+      tracer_(tracer) {
+  obs::MetricsRegistry& reg = lamellae.metrics();
+  am_sent_remote_ = &reg.counter("am.sent_remote");
+  am_sent_local_ = &reg.counter("am.sent_local");
+  am_executed_ = &reg.counter("am.executed");
+  replies_sent_ = &reg.counter("am.replies_sent");
+  replies_received_ = &reg.counter("am.replies_received");
+  bytes_serialized_ = &reg.counter("am.bytes_serialized");
+  idle_flushes_ = &reg.counter("am.idle_flushes");
+  reply_latency_ns_ = &reg.histogram("am.reply_latency_ns");
+}
 
 void AmEngine::register_completer(request_id rid, Completer completer) {
   std::lock_guard lock(pending_mu_);
@@ -36,6 +47,7 @@ void AmEngine::register_completer(request_id rid, Completer completer) {
 }
 
 void AmEngine::charge_serialize(std::size_t bytes) {
+  bytes_serialized_->inc(bytes);
   lamellae_.charge(lamellae_.params().serialize_ns(bytes));
 }
 
@@ -67,10 +79,15 @@ bool AmEngine::poll_inbox() {
 void AmEngine::dispatch_buffer(ByteBuffer buffer, pe_id src) {
   ScopedWorld scope(world_);
   ScopedAmSrc src_scope(src);
+  obs::TraceSpan span(tracer_, "dispatch_buffer", "am", my_pe(),
+                      lamellae_.clock().now());
+  std::uint64_t records = 0;
   AmEnvelope env;
   std::span<const std::byte> payload;
   while (read_record(buffer, env, payload)) {
+    ++records;
     if (env.type == kReplyType) {
+      replies_received_->inc();
       Completer completer;
       {
         std::lock_guard lock(pending_mu_);
@@ -91,13 +108,15 @@ void AmEngine::dispatch_buffer(ByteBuffer buffer, pe_id src) {
     AmRegistry::instance().handler(env.type)(*this, src, env.req_id, env.flags,
                                              payload);
   }
+  span.finish(lamellae_.clock().now(), records);
 }
 
 void AmEngine::progress() {
   const bool polled = poll_inbox();
-  if (!polled && pool_.pending() == 0) {
+  if (!polled && pool_.pending() == 0 && outgoing_.has_pending()) {
     // Idle: push residual aggregation buffers out so fire-and-forget AMs
     // are not stranded below the flush threshold.
+    idle_flushes_->inc();
     flush();
   }
 }

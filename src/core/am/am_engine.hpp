@@ -32,6 +32,8 @@
 #include "core/scheduler/thread_pool.hpp"
 #include "lamellae/cmd_queue.hpp"
 #include "lamellae/lamellae.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace lamellar {
 
@@ -60,7 +62,8 @@ concept ActiveMessageType =
 
 class AmEngine {
  public:
-  AmEngine(Lamellae& lamellae, ThreadPool& pool, const RuntimeConfig& cfg);
+  AmEngine(Lamellae& lamellae, ThreadPool& pool, const RuntimeConfig& cfg,
+           obs::TraceCollector* tracer = nullptr);
 
   void bind_world(World* w) { world_ = w; }
   [[nodiscard]] World* world() const { return world_; }
@@ -116,25 +119,31 @@ class AmEngine {
     launched_.fetch_add(1, std::memory_order_acq_rel);
     if (dst == my_pe()) {
       // Local bypass: execute as a pool task without serialization.
+      am_sent_local_->inc();
       lamellae_.charge(lamellae_.params().task_spawn_ns);
       pool_.spawn([this, am = std::move(am), cb = std::move(on_result),
                    src = my_pe()]() mutable {
         ScopedWorld scope(world_);
         AmContext ctx(*world_, src);
         cb(invoke_exec<Am>(am, ctx));
+        am_executed_->inc();
         completed_.fetch_add(1, std::memory_order_acq_rel);
       });
       return;
     }
 
     const request_id rid = next_request_id_.fetch_add(1);
-    register_completer(rid,
-                       [this, cb = std::move(on_result)](Deserializer& de) mutable {
-                         R r{};
-                         de.get(r);
-                         cb(std::move(r));
-                         completed_.fetch_add(1, std::memory_order_acq_rel);
-                       });
+    am_sent_remote_->inc();
+    const sim_nanos sent_at = lamellae_.clock().now();
+    register_completer(
+        rid, [this, sent_at, cb = std::move(on_result)](Deserializer& de) mutable {
+          const sim_nanos now = lamellae_.clock().now();
+          reply_latency_ns_->record(now >= sent_at ? now - sent_at : 0);
+          R r{};
+          de.get(r);
+          cb(std::move(r));
+          completed_.fetch_add(1, std::memory_order_acq_rel);
+        });
 
     ByteBuffer record;
     {
@@ -155,6 +164,7 @@ class AmEngine {
   /// Send a reply for request `rid` back to `dst` (used by executors).
   template <typename R>
   void send_reply(pe_id dst, request_id rid, const R& value) {
+    replies_sent_->inc();
     ByteBuffer record;
     {
       Serializer ser(record);
@@ -211,6 +221,10 @@ class AmEngine {
   ThreadPool& pool() { return pool_; }
   OutgoingQueues& outgoing() { return outgoing_; }
   [[nodiscard]] const RuntimeConfig& config() const { return cfg_; }
+  obs::TraceCollector* tracer() { return tracer_; }
+
+  /// Called by AmExecutor when a remotely launched AM finishes exec().
+  void note_am_executed() { am_executed_->inc(); }
 
   /// Invoke exec() mapping void to Unit.
   template <typename Am>
@@ -237,6 +251,17 @@ class AmEngine {
   RuntimeConfig cfg_;
   OutgoingQueues outgoing_;
   World* world_ = nullptr;
+  obs::TraceCollector* tracer_ = nullptr;
+
+  // AM-engine metrics ("am.*"), resolved once from the PE registry.
+  obs::Counter* am_sent_remote_;
+  obs::Counter* am_sent_local_;
+  obs::Counter* am_executed_;
+  obs::Counter* replies_sent_;
+  obs::Counter* replies_received_;
+  obs::Counter* bytes_serialized_;
+  obs::Counter* idle_flushes_;
+  obs::Histogram* reply_latency_ns_;
 
   std::mutex pending_mu_;
   std::unordered_map<request_id, Completer> pending_;
@@ -274,6 +299,7 @@ struct AmExecutor {
       ScopedWorld scope(engine.world());
       AmContext ctx(*engine.world(), src);
       auto result = AmEngine::invoke_exec<Am>(am, ctx);
+      engine.note_am_executed();
       if ((flags & kWantsReply) != 0) engine.send_reply(src, rid, result);
       return;
     } else {
@@ -282,6 +308,7 @@ struct AmExecutor {
         ScopedWorld scope(engine.world());
         AmContext ctx(*engine.world(), src);
         auto result = AmEngine::invoke_exec<Am>(am, ctx);
+        engine.note_am_executed();
         if ((flags & kWantsReply) != 0) engine.send_reply(src, rid, result);
       });
     }

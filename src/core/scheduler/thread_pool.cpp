@@ -7,8 +7,20 @@ namespace lamellar {
 thread_local ThreadPool* ThreadPool::tl_pool = nullptr;
 thread_local std::size_t ThreadPool::tl_worker_index = 0;
 
-ThreadPool::ThreadPool(std::size_t num_workers, ProgressHook progress)
+ThreadPool::ThreadPool(std::size_t num_workers, ProgressHook progress,
+                       SchedulerObs obs)
     : progress_(std::move(progress)) {
+  obs::MetricsRegistry& reg = obs.registry != nullptr
+                                  ? *obs.registry
+                                  : obs::MetricsRegistry::disabled_instance();
+  tasks_spawned_ = &reg.counter("sched.tasks_spawned");
+  tasks_executed_ = &reg.counter("sched.tasks_executed");
+  tasks_stolen_ = &reg.counter("sched.tasks_stolen");
+  steal_failures_ = &reg.counter("sched.steal_failures");
+  queue_depth_ = &reg.gauge("sched.queue_depth");
+  tracer_ = obs.tracer;
+  trace_clock_ = obs.clock;
+  trace_pe_ = obs.pe;
   if (num_workers == 0) num_workers = 1;
   workers_.reserve(num_workers);
   for (std::size_t i = 0; i < num_workers; ++i) {
@@ -22,7 +34,9 @@ ThreadPool::ThreadPool(std::size_t num_workers, ProgressHook progress)
 ThreadPool::~ThreadPool() { shutdown(); }
 
 void ThreadPool::spawn(Task task) {
-  pending_.fetch_add(1, std::memory_order_acq_rel);
+  const std::size_t depth = pending_.fetch_add(1, std::memory_order_acq_rel);
+  tasks_spawned_->inc();
+  queue_depth_->set(static_cast<std::int64_t>(depth) + 1);
   auto* heap_task = new Task(std::move(task));
   if (tl_pool == this) {
     workers_[tl_worker_index]->deque.push(heap_task);
@@ -49,18 +63,34 @@ Task* ThreadPool::find_task(std::size_t self_index) {
   const std::size_t start = self_index == static_cast<std::size_t>(-1)
                                 ? 0
                                 : (self_index + 1) % n;
+  bool attempted_steal = false;
   for (std::size_t k = 0; k < n; ++k) {
     const std::size_t victim = (start + k) % n;
     if (victim == self_index) continue;
-    if (Task* t = workers_[victim]->deque.steal()) return t;
+    attempted_steal = true;
+    if (Task* t = workers_[victim]->deque.steal()) {
+      tasks_stolen_->inc();
+      return t;
+    }
   }
+  if (attempted_steal) steal_failures_->inc();
   return nullptr;
 }
 
 void ThreadPool::run(Task* task) {
-  (*task)();
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    const sim_nanos t0 = trace_clock_ != nullptr ? trace_clock_->now() : 0;
+    (*task)();
+    const sim_nanos t1 = trace_clock_ != nullptr ? trace_clock_->now() : 0;
+    tracer_->record({"task", "sched", trace_pe_, t0,
+                     t1 >= t0 ? t1 - t0 : 0, 'X', 0});
+  } else {
+    (*task)();
+  }
   delete task;
-  pending_.fetch_sub(1, std::memory_order_acq_rel);
+  tasks_executed_->inc();
+  queue_depth_->set(static_cast<std::int64_t>(
+      pending_.fetch_sub(1, std::memory_order_acq_rel)) - 1);
 }
 
 bool ThreadPool::try_run_one() {

@@ -25,8 +25,22 @@
 #include "common/types.hpp"
 #include "core/scheduler/deque.hpp"
 #include "core/scheduler/task.hpp"
+#include "fabric/virtual_clock.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace lamellar {
+
+/// Observability hookup for a pool: where to register the scheduler
+/// counters and (optionally) record task spans.  All fields may be null —
+/// the pool then resolves its handles against the inert registry, keeping
+/// the hot path branch-light in uninstrumented/standalone uses.
+struct SchedulerObs {
+  obs::MetricsRegistry* registry = nullptr;
+  obs::TraceCollector* tracer = nullptr;
+  VirtualClock* clock = nullptr;  // virtual-time source for trace spans
+  pe_id pe = 0;
+};
 
 class ThreadPool {
  public:
@@ -34,7 +48,8 @@ class ThreadPool {
 
   /// Start `num_workers` threads.  `progress` (may be empty) is invoked by
   /// idle workers and by try_run_one when no task is available.
-  explicit ThreadPool(std::size_t num_workers, ProgressHook progress = {});
+  explicit ThreadPool(std::size_t num_workers, ProgressHook progress = {},
+                      SchedulerObs obs = {});
 
   ~ThreadPool();
 
@@ -79,6 +94,17 @@ class ThreadPool {
   ProgressHook progress_;
   std::atomic<std::size_t> pending_{0};
   std::atomic<bool> stopping_{false};
+
+  // Scheduler metrics ("sched.*"): always-valid handles (inert when no
+  // registry was supplied), updated with relaxed atomics.
+  obs::Counter* tasks_spawned_;
+  obs::Counter* tasks_executed_;
+  obs::Counter* tasks_stolen_;
+  obs::Counter* steal_failures_;
+  obs::Gauge* queue_depth_;
+  obs::TraceCollector* tracer_;
+  VirtualClock* trace_clock_;
+  pe_id trace_pe_;
 
   std::mutex sleep_mu_;
   std::condition_variable sleep_cv_;

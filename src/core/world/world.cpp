@@ -1,7 +1,10 @@
 #include "core/world/world.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <thread>
+
+#include "obs/report.hpp"
 
 namespace lamellar {
 
@@ -81,10 +84,14 @@ World::World(WorldGroup& group, pe_id pe)
   // cycle with a deferred indirection.
   auto engine_slot = std::make_shared<AmEngine*>(nullptr);
   pool_ = std::make_unique<ThreadPool>(
-      group.config().threads_per_pe, [engine_slot] {
+      group.config().threads_per_pe,
+      [engine_slot] {
         if (*engine_slot != nullptr) (*engine_slot)->progress();
-      });
-  engine_ = std::make_unique<AmEngine>(*lamellae_, *pool_, group.config());
+      },
+      SchedulerObs{&lamellae_->metrics(), &group.tracer(), &lamellae_->clock(),
+                   pe});
+  engine_ = std::make_unique<AmEngine>(*lamellae_, *pool_, group.config(),
+                                       &group.tracer());
   *engine_slot = engine_.get();
   engine_->bind_world(this);
   darcs_ = std::make_unique<DarcManager>(*engine_);
@@ -95,6 +102,11 @@ const RuntimeConfig& World::config() const { return group_.config(); }
 
 void World::barrier() {
   engine_->flush();
+  obs::TraceCollector& tracer = group_.tracer();
+  if (tracer.enabled()) {
+    tracer.record({"barrier", "sync", my_pe(), lamellae_->clock().now(), 0,
+                   'i', 0});
+  }
   lamellae_->barrier();
 }
 
@@ -145,8 +157,9 @@ ShmemLamellaeGroup::Layout layout_from(const RuntimeConfig& cfg) {
 WorldGroup::WorldGroup(std::size_t num_pes, RuntimeConfig cfg,
                        PerfParams params, PeMapping mapping, bool virtual_time)
     : cfg_(cfg),
-      lamellae_group_(num_pes, layout_from(cfg), params, mapping,
-                      virtual_time),
+      tracer_(!cfg.trace_file.empty(), cfg.trace_ring_capacity),
+      lamellae_group_(num_pes, layout_from(cfg), params, mapping, virtual_time,
+                      cfg.metrics_mode != MetricsMode::kOff),
       team_seq_(num_pes, 0) {
   worlds_.reserve(num_pes);
   for (pe_id pe = 0; pe < num_pes; ++pe) {
@@ -163,6 +176,30 @@ WorldGroup::WorldGroup(std::size_t num_pes, RuntimeConfig cfg,
 
 WorldGroup::~WorldGroup() {
   for (auto& w : worlds_) w->pool_->shutdown();
+  emit_reports();
+}
+
+std::vector<obs::MetricsSnapshot> WorldGroup::metrics_snapshots() const {
+  std::vector<obs::MetricsSnapshot> snaps;
+  snaps.reserve(worlds_.size());
+  for (const auto& w : worlds_) snaps.push_back(w->metrics_snapshot());
+  return snaps;
+}
+
+void WorldGroup::emit_reports() {
+  if (reports_emitted_) return;
+  reports_emitted_ = true;
+  if (cfg_.metrics_mode == MetricsMode::kSummary) {
+    obs::print_summary(stderr, metrics_snapshots());
+  } else if (cfg_.metrics_mode == MetricsMode::kJson) {
+    obs::print_json(stderr, metrics_snapshots());
+  }
+  if (!cfg_.trace_file.empty()) {
+    if (!tracer_.write_chrome_json(cfg_.trace_file)) {
+      std::fprintf(stderr, "lamellar: failed to write trace file %s\n",
+                   cfg_.trace_file.c_str());
+    }
+  }
 }
 
 std::uint64_t WorldGroup::total_outstanding() const {

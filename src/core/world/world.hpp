@@ -22,6 +22,8 @@
 #include "core/scheduler/thread_pool.hpp"
 #include "core/world/team.hpp"
 #include "lamellae/shmem_lamellae.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace lamellar {
 
@@ -142,6 +144,17 @@ class World {
   /// Virtual time on this PE's clock (ns).
   [[nodiscard]] sim_nanos time_ns() { return lamellae_->clock().now(); }
 
+  // ---- observability ----
+
+  /// This PE's metrics registry (live handles; register your own via
+  /// counter()/gauge()/histogram()).  Inert when LAMELLAR_METRICS=off.
+  obs::MetricsRegistry& metrics() { return lamellae_->metrics(); }
+
+  /// Point-in-time plain-struct copy of every metric on this PE.
+  [[nodiscard]] obs::MetricsSnapshot metrics_snapshot() const {
+    return lamellae_->metrics().snapshot(lamellae_->my_pe());
+  }
+
   /// Paper-style implicit finalization: drain outstanding work and reach
   /// global quiescence.  Called by run_world after the SPMD body returns.
   void finalize();
@@ -176,6 +189,18 @@ class WorldGroup {
   ShmemLamellaeGroup& lamellae_group() { return lamellae_group_; }
   [[nodiscard]] const RuntimeConfig& config() const { return cfg_; }
 
+  /// Group-wide trace collector; null object pattern not used — may be
+  /// consulted but is disabled unless LAMELLAR_TRACE_FILE is set.
+  obs::TraceCollector& tracer() { return tracer_; }
+
+  /// Metrics snapshots for every PE (pe-indexed).
+  [[nodiscard]] std::vector<obs::MetricsSnapshot> metrics_snapshots() const;
+
+  /// Emit the end-of-run reports now (summary/JSON per metrics_mode, trace
+  /// file per trace_file).  Runs automatically at destruction; calling it
+  /// early disables the automatic emission.
+  void emit_reports();
+
   /// Sum of outstanding AM requests over all PEs plus any queued buffers —
   /// zero only at global quiescence (valid while all mains are between
   /// barriers).
@@ -191,8 +216,10 @@ class WorldGroup {
 
  private:
   RuntimeConfig cfg_;
+  obs::TraceCollector tracer_;  // before lamellae_group_: outlives workers
   ShmemLamellaeGroup lamellae_group_;
   std::vector<std::unique_ptr<World>> worlds_;
+  bool reports_emitted_ = false;
 
   std::mutex team_mu_;
   std::uint64_t next_team_uid_ = 1;

@@ -8,7 +8,7 @@ namespace lamellar {
 
 ShmemFabric::ShmemFabric(std::size_t num_pes, std::size_t arena_bytes,
                          PerfParams params, PeMapping mapping,
-                         bool virtual_time)
+                         bool virtual_time, bool metrics_enabled)
     : arena_bytes_(arena_bytes),
       params_(params),
       mapping_(mapping),
@@ -17,11 +17,26 @@ ShmemFabric::ShmemFabric(std::size_t num_pes, std::size_t arena_bytes,
       world_barrier_(num_pes) {
   arenas_.reserve(num_pes);
   inboxes_.reserve(num_pes);
+  fab_metrics_.reserve(num_pes);
   for (std::size_t i = 0; i < num_pes; ++i) {
     // Value-initialize so freshly allocated regions read as zero, matching
     // the registered-region behaviour higher layers rely on for flags.
     arenas_.push_back(std::make_unique<std::byte[]>(arena_bytes));
     inboxes_.push_back(std::make_unique<Inbox>());
+    registries_.emplace_back(metrics_enabled);
+    obs::MetricsRegistry& reg = registries_.back();
+    fab_metrics_.push_back(FabricCounters{
+        &reg.counter("fabric.puts"),
+        &reg.counter("fabric.gets"),
+        &reg.counter("fabric.atomics"),
+        &reg.counter("fabric.bytes_put"),
+        &reg.counter("fabric.bytes_get"),
+        &reg.counter("fabric.msgs_sent"),
+        &reg.counter("fabric.msgs_polled"),
+        &reg.counter("fabric.bytes_sent"),
+        &reg.counter("fabric.barriers"),
+        &reg.counter("fabric.vtime_charged_ns"),
+    });
   }
 }
 
@@ -52,6 +67,8 @@ void ShmemFabric::put(pe_id src, pe_id dst, std::size_t dst_offset,
   check_bounds(dst, dst_offset, data.size());
   std::memcpy(arenas_[dst].get() + dst_offset, data.data(), data.size());
   charge(src, transfer_cost_ns(src, dst, data.size()));
+  fab_metrics_[src].puts->inc();
+  fab_metrics_[src].bytes_put->inc(data.size());
 }
 
 void ShmemFabric::get(pe_id dst, pe_id src_remote, std::size_t remote_offset,
@@ -60,6 +77,8 @@ void ShmemFabric::get(pe_id dst, pe_id src_remote, std::size_t remote_offset,
   std::memcpy(out.data(), arenas_[src_remote].get() + remote_offset,
               out.size());
   charge(dst, transfer_cost_ns(dst, src_remote, out.size()));
+  fab_metrics_[dst].gets->inc();
+  fab_metrics_[dst].bytes_get->inc(out.size());
 }
 
 void ShmemFabric::get_pipelined(pe_id dst, pe_id src_remote,
@@ -73,6 +92,8 @@ void ShmemFabric::get_pipelined(pe_id dst, pe_id src_remote,
   } else {
     charge(dst, params_.pipelined_cost_ns(out.size()));
   }
+  fab_metrics_[dst].gets->inc();
+  fab_metrics_[dst].bytes_get->inc(out.size());
 }
 
 namespace {
@@ -89,6 +110,7 @@ std::uint64_t ShmemFabric::atomic_fetch_add_u64(pe_id src, pe_id dst,
   check_bounds(dst, offset, sizeof(std::uint64_t));
   charge(src, src == dst ? params_.atomic_store_ns
                          : transfer_cost_ns(src, dst, sizeof(std::uint64_t)));
+  fab_metrics_[src].atomics->inc();
   return word_at(arenas_[dst].get(), offset)
       .fetch_add(v, std::memory_order_acq_rel);
 }
@@ -98,6 +120,7 @@ std::uint64_t ShmemFabric::atomic_load_u64(pe_id src, pe_id dst,
   check_bounds(dst, offset, sizeof(std::uint64_t));
   charge(src, src == dst ? params_.atomic_store_ns
                          : transfer_cost_ns(src, dst, sizeof(std::uint64_t)));
+  fab_metrics_[src].atomics->inc();
   return word_at(arenas_[dst].get(), offset).load(std::memory_order_acquire);
 }
 
@@ -106,6 +129,7 @@ void ShmemFabric::atomic_store_u64(pe_id src, pe_id dst, std::size_t offset,
   check_bounds(dst, offset, sizeof(std::uint64_t));
   charge(src, src == dst ? params_.atomic_store_ns
                          : transfer_cost_ns(src, dst, sizeof(std::uint64_t)));
+  fab_metrics_[src].atomics->inc();
   word_at(arenas_[dst].get(), offset).store(v, std::memory_order_release);
 }
 
@@ -115,6 +139,7 @@ bool ShmemFabric::atomic_cas_u64(pe_id src, pe_id dst, std::size_t offset,
   check_bounds(dst, offset, sizeof(std::uint64_t));
   charge(src, src == dst ? params_.atomic_store_ns
                          : transfer_cost_ns(src, dst, sizeof(std::uint64_t)));
+  fab_metrics_[src].atomics->inc();
   return word_at(arenas_[dst].get(), offset)
       .compare_exchange_strong(expected, desired, std::memory_order_acq_rel);
 }
@@ -126,6 +151,8 @@ bool ShmemFabric::try_send(pe_id src, pe_id dst, ByteBuffer& payload) {
   std::lock_guard lock(inbox.mu);
   if (inbox.messages.size() >= inbox_capacity_) return false;
   charge(src, transfer_cost_ns(src, dst, bytes));
+  fab_metrics_[src].msgs_sent->inc();
+  fab_metrics_[src].bytes_sent->inc(bytes);
   FabricMessage msg;
   msg.src = src;
   msg.arrival_time = virtual_time_ ? clocks_[src].now() : 0;
@@ -141,6 +168,7 @@ bool ShmemFabric::poll(pe_id pe, FabricMessage& out) {
   out = std::move(inbox.messages.front());
   inbox.messages.pop_front();
   if (virtual_time_) clocks_[pe].raise_to(out.arrival_time);
+  fab_metrics_[pe].msgs_polled->inc();
   return true;
 }
 
@@ -151,6 +179,7 @@ bool ShmemFabric::inbox_empty(pe_id pe) const {
 }
 
 void ShmemFabric::barrier(pe_id pe) {
+  fab_metrics_[pe].barriers->inc();
   world_barrier_.arrive_and_wait(virtual_time_ ? &clocks_[pe] : nullptr,
                                  params_.barrier_ns);
 }

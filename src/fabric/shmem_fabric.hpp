@@ -24,6 +24,7 @@
 #include "fabric/perf_model.hpp"
 #include "fabric/topology.hpp"
 #include "fabric/virtual_clock.hpp"
+#include "obs/metrics.hpp"
 
 namespace lamellar {
 
@@ -36,9 +37,13 @@ struct FabricMessage {
 
 class ShmemFabric {
  public:
+  /// `metrics_enabled=false` makes every per-PE registry inert
+  /// (LAMELLAR_METRICS=off): lookups return shared dummy slots and
+  /// snapshots are empty.
   ShmemFabric(std::size_t num_pes, std::size_t arena_bytes,
               PerfParams params = paper_perf_params(),
-              PeMapping mapping = PeMapping{}, bool virtual_time = true);
+              PeMapping mapping = PeMapping{}, bool virtual_time = true,
+              bool metrics_enabled = true);
 
   [[nodiscard]] std::size_t num_pes() const { return clocks_.size(); }
   [[nodiscard]] std::size_t arena_bytes() const { return arena_bytes_; }
@@ -90,9 +95,14 @@ class ShmemFabric {
 
   VirtualClock& clock(pe_id pe) { return clocks_[pe]; }
 
+  /// The per-PE metrics registry (the canonical home of every runtime
+  /// counter on that PE; higher layers register their own metrics here).
+  obs::MetricsRegistry& metrics(pe_id pe) { return registries_[pe]; }
+
   /// Charge local host-side work to a PE clock (used by higher layers).
   void charge(pe_id pe, double ns) {
     if (virtual_time_) clocks_[pe].advance(ns);
+    fab_metrics_[pe].vtime_charged_ns->inc(static_cast<std::uint64_t>(ns));
   }
 
   [[nodiscard]] bool virtual_time_enabled() const { return virtual_time_; }
@@ -108,6 +118,21 @@ class ShmemFabric {
     std::deque<FabricMessage> messages;
   };
 
+  // Handles resolved once per PE at construction; ops update them with
+  // relaxed atomics (no name lookups on the data path).
+  struct FabricCounters {
+    obs::Counter* puts;
+    obs::Counter* gets;
+    obs::Counter* atomics;
+    obs::Counter* bytes_put;
+    obs::Counter* bytes_get;
+    obs::Counter* msgs_sent;
+    obs::Counter* msgs_polled;
+    obs::Counter* bytes_sent;
+    obs::Counter* barriers;
+    obs::Counter* vtime_charged_ns;
+  };
+
   void check_bounds(pe_id pe, std::size_t offset, std::size_t len) const;
 
   std::size_t arena_bytes_;
@@ -116,6 +141,8 @@ class ShmemFabric {
   bool virtual_time_;
   std::vector<std::unique_ptr<std::byte[]>> arenas_;
   std::vector<VirtualClock> clocks_;
+  std::deque<obs::MetricsRegistry> registries_;  // deque: non-movable elems
+  std::vector<FabricCounters> fab_metrics_;
   std::vector<std::unique_ptr<Inbox>> inboxes_;
   std::size_t inbox_capacity_ = 4096;
   SenseBarrier world_barrier_;

@@ -8,6 +8,15 @@ OutgoingQueues::OutgoingQueues(Lamellae& lamellae, std::size_t flush_threshold)
   for (std::size_t i = 0; i < lamellae.num_pes(); ++i) {
     lanes_.push_back(std::make_unique<Lane>());
   }
+  obs::MetricsRegistry& reg = lamellae.metrics();
+  metrics_ = CmdQueueCounters{
+      &reg.counter("cmdq.buffers_sent"),
+      &reg.counter("cmdq.bytes_sent"),
+      &reg.counter("cmdq.flush_threshold"),
+      &reg.counter("cmdq.flush_explicit"),
+      &reg.counter("cmdq.bypass_large"),
+      &reg.counter("cmdq.backpressure_stalls"),
+  };
 }
 
 void OutgoingQueues::push(pe_id dst, std::span<const std::byte> record,
@@ -25,6 +34,7 @@ void OutgoingQueues::push(pe_id dst, std::span<const std::byte> record,
     }
   }
   if (!to_send.empty()) {
+    metrics_.flush_threshold->inc();
     lamellae_.charge(lamellae_.params().agg_flush_overhead_ns);
     transmit(dst, std::move(to_send), progress);
   }
@@ -35,6 +45,7 @@ void OutgoingQueues::send_now(pe_id dst, ByteBuffer buf,
   // Preserve record ordering per destination: anything staged must leave
   // before the direct buffer.
   flush(dst, progress);
+  metrics_.bypass_large->inc();
   transmit(dst, std::move(buf), progress);
 }
 
@@ -47,6 +58,7 @@ void OutgoingQueues::flush(pe_id dst, const ProgressFn& progress) {
     to_send = std::move(lane.active);
     lane.active = ByteBuffer{};
   }
+  metrics_.flush_explicit->inc();
   lamellae_.charge(lamellae_.params().agg_flush_overhead_ns);
   transmit(dst, std::move(to_send), progress);
 }
@@ -63,16 +75,14 @@ bool OutgoingQueues::has_pending() const {
   return false;
 }
 
-std::uint64_t OutgoingQueues::buffers_sent() const {
-  return buffers_sent_.load(std::memory_order_relaxed);
-}
-
 void OutgoingQueues::transmit(pe_id dst, ByteBuffer buf,
                               const ProgressFn& progress) {
-  buffers_sent_.fetch_add(1, std::memory_order_relaxed);
+  metrics_.buffers_sent->inc();
+  metrics_.bytes_sent->inc(buf.size());
   // try_send consumes the buffer only on success; on backpressure, make
   // progress on our own inbox (which can unblock the destination) and retry.
   while (!lamellae_.try_send(dst, buf)) {
+    metrics_.backpressure_stalls->inc();
     progress();
   }
 }

@@ -19,6 +19,7 @@
 #include "common/bytes.hpp"
 #include "common/types.hpp"
 #include "lamellae/lamellae.hpp"
+#include "obs/metrics.hpp"
 
 namespace lamellar {
 
@@ -47,13 +48,22 @@ class OutgoingQueues {
   [[nodiscard]] bool has_pending() const;
   [[nodiscard]] std::size_t flush_threshold() const { return threshold_; }
 
-  /// Total buffers handed to the fabric (for tests/stats).
-  [[nodiscard]] std::uint64_t buffers_sent() const;
-
  private:
   struct Lane {
     mutable std::mutex mu;
     ByteBuffer active;
+  };
+
+  // Resolved once from the PE's metrics registry ("cmdq.*" namespace):
+  // buffers/bytes handed to the fabric, flushes split by cause, and
+  // full-inbox stalls observed while transmitting.
+  struct CmdQueueCounters {
+    obs::Counter* buffers_sent;
+    obs::Counter* bytes_sent;
+    obs::Counter* flush_threshold;
+    obs::Counter* flush_explicit;
+    obs::Counter* bypass_large;
+    obs::Counter* backpressure_stalls;
   };
 
   void transmit(pe_id dst, ByteBuffer buf, const ProgressFn& progress);
@@ -61,7 +71,7 @@ class OutgoingQueues {
   Lamellae& lamellae_;
   std::size_t threshold_;
   std::vector<std::unique_ptr<Lane>> lanes_;
-  std::atomic<std::uint64_t> buffers_sent_{0};
+  CmdQueueCounters metrics_;
 };
 
 }  // namespace lamellar

@@ -94,6 +94,11 @@ class Lamellae {
   // ---- synchronization / accounting ----
   virtual void barrier() = 0;
   virtual VirtualClock& clock() = 0;
+
+  /// This PE's metrics registry (observability layer).  Always valid; an
+  /// inert registry is returned when metrics are disabled.
+  virtual obs::MetricsRegistry& metrics() = 0;
+
   [[nodiscard]] virtual const PerfParams& params() const = 0;
 
   /// Charge modeled host-side time to this PE.

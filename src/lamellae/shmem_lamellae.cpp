@@ -4,9 +4,10 @@ namespace lamellar {
 
 ShmemLamellaeGroup::ShmemLamellaeGroup(std::size_t num_pes, Layout layout,
                                        PerfParams params, PeMapping mapping,
-                                       bool virtual_time)
+                                       bool virtual_time, bool metrics_enabled)
     : layout_(layout),
-      fabric_(num_pes, layout.total(), params, mapping, virtual_time),
+      fabric_(num_pes, layout.total(), params, mapping, virtual_time,
+              metrics_enabled),
       symmetric_heap_(layout.internal_bytes, layout.symmetric_bytes),
       alloc_seq_(num_pes, 0) {
   const std::size_t onesided_base =

@@ -33,7 +33,7 @@ class ShmemLamellaeGroup {
   ShmemLamellaeGroup(std::size_t num_pes, Layout layout,
                      PerfParams params = paper_perf_params(),
                      PeMapping mapping = PeMapping{},
-                     bool virtual_time = true);
+                     bool virtual_time = true, bool metrics_enabled = true);
 
   /// Build the endpoint for one PE.  Endpoints borrow the group; the group
   /// must outlive them.
@@ -130,6 +130,9 @@ class ShmemLamellae final : public Lamellae {
 
   void barrier() override { group_.fabric_.barrier(pe_); }
   VirtualClock& clock() override { return group_.fabric_.clock(pe_); }
+  obs::MetricsRegistry& metrics() override {
+    return group_.fabric_.metrics(pe_);
+  }
   [[nodiscard]] const PerfParams& params() const override {
     return group_.fabric_.params();
   }

@@ -87,6 +87,7 @@ class SmpLamellae final : public Lamellae {
 
   void barrier() override { inner_->barrier(); }
   VirtualClock& clock() override { return inner_->clock(); }
+  obs::MetricsRegistry& metrics() override { return inner_->metrics(); }
   [[nodiscard]] const PerfParams& params() const override {
     return inner_->params();
   }

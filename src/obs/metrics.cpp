@@ -1,0 +1,147 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace lamellar::obs {
+
+std::uint64_t HistogramSnapshot::quantile_bound(double p) const {
+  if (count == 0) return 0;
+  const auto target = static_cast<std::uint64_t>(
+      p * static_cast<double>(count));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    seen += buckets[i];
+    if (seen > target) {
+      return i == 0 ? 0 : (i >= 64 ? ~0ULL : (1ULL << i) - 1);
+    }
+  }
+  return max;
+}
+
+std::uint64_t MetricsSnapshot::counter(std::string_view name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+const HistogramSnapshot* MetricsSnapshot::histogram(
+    std::string_view name) const {
+  for (const auto& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out;
+  char buf[160];
+  out += "{\"pe\":" + std::to_string(pe) + ",\"counters\":{";
+  bool first = true;
+  for (const auto& [n, v] : counters) {
+    std::snprintf(buf, sizeof(buf), "%s\"%s\":%" PRIu64, first ? "" : ",",
+                  n.c_str(), v);
+    out += buf;
+    first = false;
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [n, vm] : gauges) {
+    std::snprintf(buf, sizeof(buf),
+                  "%s\"%s\":{\"value\":%" PRId64 ",\"max\":%" PRId64 "}",
+                  first ? "" : ",", n.c_str(), vm.first, vm.second);
+    out += buf;
+    first = false;
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& h : histograms) {
+    std::snprintf(buf, sizeof(buf),
+                  "%s\"%s\":{\"count\":%" PRIu64 ",\"sum\":%" PRIu64
+                  ",\"max\":%" PRIu64 ",\"mean\":%.1f}",
+                  first ? "" : ",", h.name.c_str(), h.count, h.sum, h.max,
+                  h.mean());
+    out += buf;
+    first = false;
+  }
+  out += "}}";
+  return out;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  if (!enabled_) return inert_counter_;
+  std::lock_guard lock(mu_);
+  std::string key(name);
+  auto it = counter_index_.find(key);
+  if (it != counter_index_.end()) return *it->second;
+  counters_.emplace_back();
+  counters_.back().name = key;
+  Counter* slot = &counters_.back().slot;
+  counter_index_.emplace(std::move(key), slot);
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  if (!enabled_) return inert_gauge_;
+  std::lock_guard lock(mu_);
+  std::string key(name);
+  auto it = gauge_index_.find(key);
+  if (it != gauge_index_.end()) return *it->second;
+  gauges_.emplace_back();
+  gauges_.back().name = key;
+  Gauge* slot = &gauges_.back().slot;
+  gauge_index_.emplace(std::move(key), slot);
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  if (!enabled_) return inert_histogram_;
+  std::lock_guard lock(mu_);
+  std::string key(name);
+  auto it = histogram_index_.find(key);
+  if (it != histogram_index_.end()) return *it->second;
+  histograms_.emplace_back();
+  histograms_.back().name = key;
+  Histogram* slot = &histograms_.back().slot;
+  histogram_index_.emplace(std::move(key), slot);
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot(pe_id pe) const {
+  MetricsSnapshot snap;
+  snap.pe = pe;
+  std::lock_guard lock(mu_);
+  for (const auto& e : counters_) {
+    snap.counters.emplace_back(e.name, e.slot.get());
+  }
+  for (const auto& e : gauges_) {
+    snap.gauges.emplace_back(e.name, std::make_pair(e.slot.get(),
+                                                    e.slot.max()));
+  }
+  for (const auto& e : histograms_) {
+    HistogramSnapshot h;
+    h.name = e.name;
+    h.count = e.slot.count.load(std::memory_order_relaxed);
+    h.sum = e.slot.sum.load(std::memory_order_relaxed);
+    h.max = e.slot.max_value.load(std::memory_order_relaxed);
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+      h.buckets[i] = e.slot.buckets[i].load(std::memory_order_relaxed);
+    }
+    snap.histograms.push_back(std::move(h));
+  }
+  // Deterministic ordering for tables and tests.
+  std::sort(snap.counters.begin(), snap.counters.end());
+  std::sort(snap.gauges.begin(), snap.gauges.end());
+  std::sort(snap.histograms.begin(), snap.histograms.end(),
+            [](const auto& a, const auto& b) { return a.name < b.name; });
+  return snap;
+}
+
+MetricsRegistry& MetricsRegistry::disabled_instance() {
+  static MetricsRegistry inert(false);
+  return inert;
+}
+
+}  // namespace lamellar::obs

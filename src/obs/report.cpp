@@ -1,0 +1,83 @@
+#include "obs/report.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <map>
+
+namespace lamellar::obs {
+
+void print_summary(std::FILE* out,
+                   const std::vector<MetricsSnapshot>& snaps) {
+  if (snaps.empty()) return;
+  // Union of names across PEs, so the table stays rectangular even when a
+  // PE never touched a metric.
+  std::map<std::string, std::vector<std::uint64_t>> counter_rows;
+  std::map<std::string, std::vector<std::int64_t>> gauge_rows;
+  std::map<std::string, std::vector<const HistogramSnapshot*>> hist_rows;
+  for (std::size_t i = 0; i < snaps.size(); ++i) {
+    for (const auto& [n, v] : snaps[i].counters) {
+      auto& row = counter_rows[n];
+      row.resize(snaps.size(), 0);
+      row[i] = v;
+    }
+    for (const auto& [n, vm] : snaps[i].gauges) {
+      auto& row = gauge_rows[n];
+      row.resize(snaps.size(), 0);
+      row[i] = vm.second;  // high-water mark
+    }
+    for (const auto& h : snaps[i].histograms) {
+      auto& row = hist_rows[h.name];
+      row.resize(snaps.size(), nullptr);
+      row[i] = &h;
+    }
+  }
+
+  std::fprintf(out, "\n# lamellar metrics (per PE)\n");
+  std::fprintf(out, "%-28s", "metric");
+  for (const auto& s : snaps) {
+    std::fprintf(out, " %14s", ("pe" + std::to_string(s.pe)).c_str());
+  }
+  std::fprintf(out, "\n");
+  for (const auto& [name, row] : counter_rows) {
+    std::fprintf(out, "%-28s", name.c_str());
+    for (auto v : row) std::fprintf(out, " %14" PRIu64, v);
+    std::fprintf(out, "\n");
+  }
+  for (const auto& [name, row] : gauge_rows) {
+    std::fprintf(out, "%-28s", (name + " (max)").c_str());
+    for (auto v : row) std::fprintf(out, " %14" PRId64, v);
+    std::fprintf(out, "\n");
+  }
+  for (const auto& [name, row] : hist_rows) {
+    std::fprintf(out, "%-28s", (name + " (count)").c_str());
+    for (const auto* h : row) {
+      std::fprintf(out, " %14" PRIu64, h != nullptr ? h->count : 0);
+    }
+    std::fprintf(out, "\n%-28s", (name + " (mean)").c_str());
+    for (const auto* h : row) {
+      std::fprintf(out, " %14.1f", h != nullptr ? h->mean() : 0.0);
+    }
+    std::fprintf(out, "\n%-28s", (name + " (~p99)").c_str());
+    for (const auto* h : row) {
+      std::fprintf(out, " %14" PRIu64,
+                   h != nullptr ? h->quantile_bound(0.99) : 0);
+    }
+    std::fprintf(out, "\n");
+  }
+}
+
+void print_json(std::FILE* out, const std::vector<MetricsSnapshot>& snaps) {
+  std::fprintf(out, "[");
+  for (std::size_t i = 0; i < snaps.size(); ++i) {
+    std::fprintf(out, "%s%s", i == 0 ? "" : ",", snaps[i].to_json().c_str());
+  }
+  std::fprintf(out, "]\n");
+}
+
+std::string bench_json_line(const std::string& bench, const std::string& impl,
+                            const MetricsSnapshot& snap) {
+  return "{\"bench\":\"" + bench + "\",\"impl\":\"" + impl +
+         "\",\"metrics\":" + snap.to_json() + "}";
+}
+
+}  // namespace lamellar::obs

@@ -1,0 +1,27 @@
+// End-of-run metrics reporting: the human-readable per-PE summary table
+// (LAMELLAR_METRICS=summary) and machine-readable JSON (LAMELLAR_METRICS=
+// json), plus the one-line snapshot the bench drivers append to their
+// timing output.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace lamellar::obs {
+
+/// Per-PE table: one row per metric, one column per PE.  Gauges show their
+/// high-water mark; histograms show count and mean.
+void print_summary(std::FILE* out, const std::vector<MetricsSnapshot>& snaps);
+
+/// One JSON array with one object per PE.
+void print_json(std::FILE* out, const std::vector<MetricsSnapshot>& snaps);
+
+/// Compact one-line JSON record for bench output files:
+/// {"bench":...,"impl":...,"metrics":{...}}.
+std::string bench_json_line(const std::string& bench, const std::string& impl,
+                            const MetricsSnapshot& snap);
+
+}  // namespace lamellar::obs

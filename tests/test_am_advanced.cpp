@@ -142,7 +142,7 @@ TEST(AmAdvanced, ManySmallAmsAggregate) {
       EXPECT_EQ(world.block_on(std::move(f)), 285u);
     }
     // Aggregation actually happened: far fewer fabric buffers than AMs.
-    EXPECT_LT(world.engine().outgoing().buffers_sent(),
+    EXPECT_LT(world.metrics_snapshot().counter("cmdq.buffers_sent"),
               static_cast<std::uint64_t>(kEach));
     world.barrier();
   });
@@ -157,7 +157,8 @@ TEST(AmAdvanced, SinglePeWorldLocalBypass) {
     auto all = world.block_on(world.exec_am_all(SlowAm{10}));
     ASSERT_EQ(all.size(), 1u);
     EXPECT_EQ(all[0], 285u);
-    EXPECT_EQ(world.engine().outgoing().buffers_sent(), 0u);  // no wire
+    EXPECT_EQ(world.metrics_snapshot().counter("cmdq.buffers_sent"),
+              0u);  // no wire
     world.barrier();
   });
 }

@@ -239,13 +239,16 @@ TEST(CmdQueue, AggregatesUntilThreshold) {
   ShmemLamellaeGroup group(2, {});
   auto l0 = group.endpoint(0);
   OutgoingQueues out(*l0, 256);
+  // The ad-hoc buffer counter now lives in the PE's metrics registry.
+  const obs::Counter& sent = l0->metrics().counter("cmdq.buffers_sent");
   std::vector<std::byte> record(100, std::byte{7});
   auto progress = [] {};
   out.push(1, record, progress);
   out.push(1, record, progress);
-  EXPECT_EQ(out.buffers_sent(), 0u);  // 200 < 256
-  out.push(1, record, progress);      // 300 >= 256 -> flush
-  EXPECT_EQ(out.buffers_sent(), 1u);
+  EXPECT_EQ(sent.get(), 0u);      // 200 < 256
+  out.push(1, record, progress);  // 300 >= 256 -> flush
+  EXPECT_EQ(sent.get(), 1u);
+  EXPECT_EQ(l0->metrics().counter("cmdq.flush_threshold").get(), 1u);
   FabricMessage msg;
   ASSERT_TRUE(group.fabric().poll(1, msg));
   EXPECT_EQ(msg.payload.size(), 300u);
@@ -260,7 +263,8 @@ TEST(CmdQueue, FlushSendsResiduals) {
   EXPECT_TRUE(out.has_pending());
   out.flush_all([] {});
   EXPECT_FALSE(out.has_pending());
-  EXPECT_EQ(out.buffers_sent(), 1u);
+  EXPECT_EQ(l0->metrics().counter("cmdq.buffers_sent").get(), 1u);
+  EXPECT_EQ(l0->metrics().counter("cmdq.flush_explicit").get(), 1u);
 }
 
 TEST(CmdQueue, SendNowPreservesOrder) {

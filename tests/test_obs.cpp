@@ -1,0 +1,310 @@
+// Observability layer: metrics registry correctness under concurrency,
+// end-to-end snapshot consistency through a multi-PE world, trace-ring
+// wraparound semantics, Chrome JSON export, and the metrics-off path.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "common/config.hpp"
+#include "lamellar.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+using namespace lamellar;
+
+struct PingAm {
+  std::uint64_t v = 0;
+  template <class Ar>
+  void serialize(Ar& ar) {
+    ar(v);
+  }
+  std::uint64_t exec(AmContext& ctx) { return v + ctx.current_pe() + 1; }
+};
+
+}  // namespace
+
+LAMELLAR_REGISTER_AM(PingAm);
+
+namespace {
+
+// ---- Registry primitives ----
+
+TEST(ObsMetrics, CounterConcurrentIncrements) {
+  obs::MetricsRegistry reg;
+  obs::Counter& c = reg.counter("test.hits");
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kEach = 50'000;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kEach; ++i) c.inc();
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(c.get(), kThreads * kEach);
+  EXPECT_EQ(reg.snapshot().counter("test.hits"), kThreads * kEach);
+}
+
+TEST(ObsMetrics, RegistrationIsIdempotent) {
+  obs::MetricsRegistry reg;
+  obs::Counter& a = reg.counter("same.name");
+  obs::Counter& b = reg.counter("same.name");
+  EXPECT_EQ(&a, &b);
+  a.inc(3);
+  b.inc(4);
+  EXPECT_EQ(reg.snapshot().counter("same.name"), 7u);
+  // Registration from many threads also converges on one slot.
+  std::vector<std::thread> ts;
+  std::vector<obs::Counter*> slots(8, nullptr);
+  for (int t = 0; t < 8; ++t) {
+    ts.emplace_back([&reg, &slots, t] {
+      slots[t] = &reg.counter("racy.name");
+    });
+  }
+  for (auto& t : ts) t.join();
+  for (int t = 1; t < 8; ++t) EXPECT_EQ(slots[t], slots[0]);
+}
+
+TEST(ObsMetrics, GaugeHighWaterMark) {
+  obs::MetricsRegistry reg;
+  obs::Gauge& g = reg.gauge("test.depth");
+  g.set(5);
+  g.set(12);
+  g.set(3);
+  EXPECT_EQ(g.get(), 3);
+  EXPECT_EQ(g.max(), 12);
+  auto snap = reg.snapshot();
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].second.first, 3);
+  EXPECT_EQ(snap.gauges[0].second.second, 12);
+}
+
+TEST(ObsMetrics, HistogramBucketsAndStats) {
+  obs::MetricsRegistry reg;
+  obs::Histogram& h = reg.histogram("test.lat");
+  // bucket_of: 0 -> 0, 1 -> 1, [2,4) -> 2, [4,8) -> 3, ...
+  EXPECT_EQ(obs::Histogram::bucket_of(0), 0u);
+  EXPECT_EQ(obs::Histogram::bucket_of(1), 1u);
+  EXPECT_EQ(obs::Histogram::bucket_of(2), 2u);
+  EXPECT_EQ(obs::Histogram::bucket_of(3), 2u);
+  EXPECT_EQ(obs::Histogram::bucket_of(4), 3u);
+  EXPECT_EQ(obs::Histogram::bucket_of(~0ULL), 64u - 0u);
+
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kEach = 10'000;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&h] {
+      for (std::uint64_t i = 0; i < kEach; ++i) h.record(i % 100);
+    });
+  }
+  for (auto& t : ts) t.join();
+
+  auto snap = reg.snapshot();
+  const auto* hs = snap.histogram("test.lat");
+  ASSERT_NE(hs, nullptr);
+  EXPECT_EQ(hs->count, kThreads * kEach);
+  EXPECT_EQ(hs->max, 99u);
+  // sum = threads * sum(0..99) * (kEach/100)
+  EXPECT_EQ(hs->sum, kThreads * 4950ULL * (kEach / 100));
+  EXPECT_NEAR(hs->mean(), 49.5, 0.01);
+  std::uint64_t bucket_total = 0;
+  for (auto b : hs->buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, hs->count);
+  EXPECT_GE(hs->quantile_bound(0.99), 63u);  // p99 of 0..99 is in [64,128)
+}
+
+TEST(ObsMetrics, DisabledRegistryHasZeroEntries) {
+  obs::MetricsRegistry reg(false);
+  EXPECT_FALSE(reg.enabled());
+  reg.counter("a").inc();
+  reg.gauge("b").set(7);
+  reg.histogram("c").record(42);
+  auto snap = reg.snapshot();
+  EXPECT_TRUE(snap.empty());
+  EXPECT_EQ(snap.counter("a"), 0u);
+  // Disabled lookups share the inert slots; no per-name allocation.
+  EXPECT_EQ(&reg.counter("x"), &reg.counter("y"));
+}
+
+TEST(ObsMetrics, SnapshotJsonShape) {
+  obs::MetricsRegistry reg;
+  reg.counter("n.c").inc(5);
+  reg.gauge("n.g").set(2);
+  reg.histogram("n.h").record(10);
+  auto json = reg.snapshot(3).to_json();
+  EXPECT_NE(json.find("\"pe\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"n.c\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"n.g\""), std::string::npos);
+  EXPECT_NE(json.find("\"n.h\""), std::string::npos);
+  auto line = obs::bench_json_line("bench_x", "impl_y", reg.snapshot(3));
+  EXPECT_NE(line.find("\"bench\":\"bench_x\""), std::string::npos);
+  EXPECT_NE(line.find("\"impl\":\"impl_y\""), std::string::npos);
+}
+
+// ---- Config knobs ----
+
+TEST(ObsConfig, ParseMetricsMode) {
+  EXPECT_EQ(parse_metrics_mode("off"), MetricsMode::kOff);
+  EXPECT_EQ(parse_metrics_mode("quiet"), MetricsMode::kQuiet);
+  EXPECT_EQ(parse_metrics_mode("summary"), MetricsMode::kSummary);
+  EXPECT_EQ(parse_metrics_mode("json"), MetricsMode::kJson);
+  EXPECT_THROW(parse_metrics_mode("bogus"), std::invalid_argument);
+}
+
+// ---- Through the runtime ----
+
+TEST(ObsWorld, SnapshotConsistencyAcrossPes) {
+  constexpr std::size_t kPes = 3;
+  constexpr int kEach = 200;
+  std::vector<obs::MetricsSnapshot> snaps(kPes);
+  run_world(kPes, [&](World& world) {
+    std::vector<Future<std::uint64_t>> futs;
+    for (int i = 0; i < kEach; ++i) {
+      futs.push_back(world.exec_am_pe((world.my_pe() + 1) % kPes,
+                                      PingAm{static_cast<std::uint64_t>(i)}));
+    }
+    for (auto& f : futs) {
+      EXPECT_GT(world.block_on(std::move(f)), 0u);
+    }
+    world.barrier();
+    snaps[world.my_pe()] = world.metrics_snapshot();
+    world.barrier();
+  });
+
+  std::uint64_t sent = 0, executed = 0, replies_sent = 0, replies_rcvd = 0;
+  for (const auto& s : snaps) {
+    EXPECT_FALSE(s.empty());
+    sent += s.counter("am.sent_remote") + s.counter("am.sent_local");
+    executed += s.counter("am.executed");
+    replies_sent += s.counter("am.replies_sent");
+    replies_rcvd += s.counter("am.replies_received");
+  }
+  // Every AM sent anywhere was executed somewhere; every reply sent was
+  // received (counters from different PEs must agree globally).
+  EXPECT_GE(sent, kPes * static_cast<std::uint64_t>(kEach));
+  EXPECT_EQ(executed, sent);
+  EXPECT_EQ(replies_sent, replies_rcvd);
+  EXPECT_GE(replies_rcvd, kPes * static_cast<std::uint64_t>(kEach));
+  // Each PE's reply-latency histogram saw its futures complete.
+  for (const auto& s : snaps) {
+    const auto* h = s.histogram("am.reply_latency_ns");
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->count, s.counter("am.replies_received"));
+  }
+  // Aggregation produced fabric traffic that the cmd queue accounted for.
+  for (const auto& s : snaps) {
+    EXPECT_GT(s.counter("cmdq.buffers_sent"), 0u);
+    EXPECT_GT(s.counter("cmdq.bytes_sent"), 0u);
+    EXPECT_GT(s.counter("fabric.barriers"), 0u);
+  }
+}
+
+TEST(ObsWorld, MetricsOffYieldsEmptySnapshots) {
+  RuntimeConfig cfg;
+  cfg.metrics_mode = MetricsMode::kOff;
+  run_world(
+      2,
+      [](World& world) {
+        world.block_on(world.exec_am_pe((world.my_pe() + 1) % 2, PingAm{7}));
+        world.barrier();
+        EXPECT_TRUE(world.metrics_snapshot().empty());
+        EXPECT_FALSE(world.metrics().enabled());
+      },
+      cfg);
+}
+
+// ---- Trace ring ----
+
+TEST(ObsTrace, RingWraparoundKeepsNewest) {
+  obs::TraceRing ring(8, 0);
+  EXPECT_EQ(ring.capacity(), 8u);  // already a power of two
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    ring.record({"e", "t", 0, static_cast<sim_nanos>(i), 0, 'i', i});
+  }
+  EXPECT_EQ(ring.recorded(), 20u);
+  auto events = ring.drain_ordered();
+  ASSERT_EQ(events.size(), 8u);  // oldest 12 overwritten
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].arg, 12 + i);  // newest 8, oldest first
+  }
+}
+
+TEST(ObsTrace, RingCapacityRoundsUpToPow2) {
+  obs::TraceRing ring(10, 1);
+  EXPECT_EQ(ring.capacity(), 16u);
+}
+
+TEST(ObsTrace, CollectorPerThreadRingsAndJson) {
+  obs::TraceCollector collector(true, 16);
+  constexpr int kThreads = 4;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&collector, t] {
+      for (int i = 0; i < 5; ++i) {
+        collector.record({"span", "test", static_cast<pe_id>(t),
+                          static_cast<sim_nanos>(i * 100), 50, 'X',
+                          static_cast<std::uint64_t>(i)});
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(collector.num_rings(), static_cast<std::size_t>(kThreads));
+  auto json = collector.to_chrome_json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"span\""), std::string::npos);
+  // 4 threads x 5 events, each emitted once.
+  std::size_t n = 0;
+  for (std::size_t pos = 0; (pos = json.find("\"span\"", pos)) !=
+                            std::string::npos;
+       ++n, ++pos) {
+  }
+  EXPECT_EQ(n, static_cast<std::size_t>(kThreads) * 5);
+}
+
+TEST(ObsTrace, DisabledCollectorRecordsNothing) {
+  obs::TraceCollector collector(false);
+  collector.record({"e", "t", 0, 0, 0, 'i', 0});
+  {
+    obs::TraceSpan span(&collector, "s", "t", 0, 0);
+    span.finish(100);
+  }
+  EXPECT_EQ(collector.num_rings(), 0u);
+}
+
+TEST(ObsTrace, WorldRunWritesChromeTraceFile) {
+  const std::string path = ::testing::TempDir() + "lamellar_trace_test.json";
+  std::remove(path.c_str());
+  RuntimeConfig cfg;
+  cfg.trace_file = path;
+  run_world(
+      2,
+      [](World& world) {
+        world.block_on(world.exec_am_pe((world.my_pe() + 1) % 2, PingAm{1}));
+        world.barrier();
+      },
+      cfg);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string json = ss.str();
+  ASSERT_FALSE(json.empty());
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("dispatch_buffer"), std::string::npos);
+  EXPECT_NE(json.find("\"barrier\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
