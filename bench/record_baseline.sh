@@ -1,0 +1,31 @@
+#!/usr/bin/env sh
+# Record a bench baseline: run the fig3/fig4/fig5 drivers at small scale in
+# json-metrics mode and collect the per-implementation metric lines plus
+# wall-clock timings into one JSON document on stdout.
+#
+# Usage: bench/record_baseline.sh <build-dir> [ops-per-pe]
+# Example: bench/record_baseline.sh build 20000 > BENCH_pr2.json
+set -eu
+
+build=${1:?usage: record_baseline.sh <build-dir> [ops-per-pe]}
+ops=${2:-20000}
+
+run_fig() {
+  bin=$1
+  var=$2
+  start=$(date +%s%N)
+  env "$var=$ops" LAMELLAR_METRICS=json "$build/bench/$bin" >"/tmp/$bin.baseline.out"
+  end=$(date +%s%N)
+  wall_ms=$(((end - start) / 1000000))
+  printf '    "%s": {\n      "wall_ms": %s,\n      "impls": [\n' "$bin" "$wall_ms"
+  grep '^{"bench"' "/tmp/$bin.baseline.out" | sed 's/^/        /; $!s/$/,/'
+  printf '      ]\n    }'
+}
+
+printf '{\n  "ops_per_pe": %s,\n  "benches": {\n' "$ops"
+run_fig fig3_histogram LAMELLAR_FIG3_UPDATES
+printf ',\n'
+run_fig fig4_indexgather LAMELLAR_FIG4_REQUESTS
+printf ',\n'
+run_fig fig5_randperm LAMELLAR_FIG5_PERM
+printf '\n  }\n}\n'

@@ -35,6 +35,17 @@ class ByteBuffer {
     write(&v, sizeof(T));
   }
 
+  /// Overwrite sizeof(T) bytes at absolute offset `pos` (which must already
+  /// be written).  Used to patch record headers after in-place serialization.
+  template <typename T>
+  void patch_pod(std::size_t pos, const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (pos + sizeof(T) > data_.size()) {
+      throw DeserializeError("ByteBuffer::patch_pod past end of buffer");
+    }
+    std::memcpy(data_.data() + pos, &v, sizeof(T));
+  }
+
   /// Copy `n` bytes from the read cursor into `dst`, advancing the cursor.
   void read(void* dst, std::size_t n) {
     if (read_pos_ + n > data_.size()) {
@@ -83,7 +94,19 @@ class ByteBuffer {
     read_pos_ = 0;
   }
 
+  /// Reset-and-reuse: drop contents and cursors but keep the allocation, so
+  /// a pooled buffer can be refilled without touching the heap.
+  void reset() { clear(); }
+
+  /// Shrink to `n` bytes (rolls back a partially written record).
+  void truncate(std::size_t n) {
+    if (n > data_.size()) throw DeserializeError("ByteBuffer::truncate grows");
+    data_.resize(n);
+    if (read_pos_ > n) read_pos_ = n;
+  }
+
   void reserve(std::size_t n) { data_.reserve(n); }
+  [[nodiscard]] std::size_t capacity() const { return data_.capacity(); }
 
   std::vector<std::byte> take() {
     read_pos_ = 0;

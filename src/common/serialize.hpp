@@ -114,10 +114,17 @@ class Serializer {
   ByteBuffer& buf_;
 };
 
-/// Reads values from a ByteBuffer in the order they were written.
+/// Reads values in the order they were written.
+///
+/// Operates over a borrowed span with its own cursor, so receive-side
+/// dispatch deserializes straight out of an aggregated inbox buffer with no
+/// intermediate copy; the span must outlive the Deserializer.  A ByteBuffer
+/// can also be read (starting at its read cursor) without being consumed.
 class Deserializer {
  public:
-  explicit Deserializer(ByteBuffer& buf) : buf_(buf) {}
+  explicit Deserializer(std::span<const std::byte> data) : data_(data) {}
+  explicit Deserializer(const ByteBuffer& buf)
+      : data_(buf.as_span().subspan(buf.read_pos())) {}
 
   static constexpr bool is_writing = false;
 
@@ -129,17 +136,17 @@ class Deserializer {
   template <typename T>
   void get(T& v) {
     if constexpr (std::is_arithmetic_v<T> || std::is_enum_v<T>) {
-      v = buf_.read_pod<T>();
+      v = read_pod<T>();
     } else if constexpr (std::is_same_v<T, std::string>) {
       const std::size_t n = get_len();
       v.resize(n);
-      buf_.read(v.data(), n);
+      read(v.data(), n);
     } else if constexpr (detail::is_std_vector<T>::value) {
       using E = typename T::value_type;
       const std::size_t n = get_len();
       v.resize(n);
       if constexpr (std::is_trivially_copyable_v<E>) {
-        buf_.read(v.data(), n * sizeof(E));
+        read(v.data(), n * sizeof(E));
       } else {
         for (auto& e : v) get(e);
       }
@@ -175,13 +182,31 @@ class Deserializer {
     return v;
   }
 
-  ByteBuffer& buffer() { return buf_; }
+  /// Copy `n` raw bytes at the cursor into `dst`, advancing the cursor.
+  void read(void* dst, std::size_t n) {
+    if (pos_ + n > data_.size()) {
+      throw DeserializeError("Deserializer: read past end of input");
+    }
+    std::memcpy(dst, data_.data() + pos_, n);
+    pos_ += n;
+  }
+
+  template <typename T>
+  T read_pod() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T v;
+    read(&v, sizeof(T));
+    return v;
+  }
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
 
  private:
   std::size_t get_len() {
-    return static_cast<std::size_t>(buf_.read_pod<std::uint64_t>());
+    return static_cast<std::size_t>(read_pod<std::uint64_t>());
   }
-  ByteBuffer& buf_;
+  std::span<const std::byte> data_;
+  std::size_t pos_ = 0;
 };
 
 /// Serialize a single value into a fresh buffer.

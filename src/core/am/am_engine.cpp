@@ -37,33 +37,32 @@ AmEngine::AmEngine(Lamellae& lamellae, ThreadPool& pool,
   replies_sent_ = &reg.counter("am.replies_sent");
   replies_received_ = &reg.counter("am.replies_received");
   bytes_serialized_ = &reg.counter("am.bytes_serialized");
+  bytes_copied_ = &reg.counter("am.bytes_copied");
   idle_flushes_ = &reg.counter("am.idle_flushes");
   reply_latency_ns_ = &reg.histogram("am.reply_latency_ns");
 }
 
 void AmEngine::register_completer(request_id rid, Completer completer) {
-  std::lock_guard lock(pending_mu_);
-  pending_.emplace(rid, std::move(completer));
+  PendingShard& shard = pending_[rid % kPendingShards];
+  std::lock_guard lock(shard.mu);
+  shard.map.emplace(rid, std::move(completer));
+}
+
+AmEngine::Completer AmEngine::take_completer(request_id rid) {
+  PendingShard& shard = pending_[rid % kPendingShards];
+  std::lock_guard lock(shard.mu);
+  auto it = shard.map.find(rid);
+  if (it == shard.map.end()) {
+    throw Error("AmEngine: reply for unknown request " + std::to_string(rid));
+  }
+  Completer completer = std::move(it->second);
+  shard.map.erase(it);
+  return completer;
 }
 
 void AmEngine::charge_serialize(std::size_t bytes) {
   bytes_serialized_->inc(bytes);
   lamellae_.charge(lamellae_.params().serialize_ns(bytes));
-}
-
-void AmEngine::patch_payload_len(ByteBuffer& record) {
-  const std::uint64_t payload_len = record.size() - kRecordHeaderBytes;
-  std::memcpy(record.data() + kRecordHeaderBytes - sizeof(std::uint64_t),
-              &payload_len, sizeof(std::uint64_t));
-}
-
-void AmEngine::enqueue_record(pe_id dst, ByteBuffer record) {
-  const auto progress = [this] { poll_inbox(); };
-  if (record.size() >= cfg_.agg_threshold_bytes) {
-    outgoing_.send_now(dst, std::move(record), progress);
-  } else {
-    outgoing_.push(dst, record.as_span(), progress);
-  }
 }
 
 bool AmEngine::poll_inbox() {
@@ -83,31 +82,28 @@ void AmEngine::dispatch_buffer(ByteBuffer buffer, pe_id src) {
                       lamellae_.clock().now());
   std::uint64_t records = 0;
   AmEnvelope env;
+  std::span<const std::byte> cursor = buffer.as_span();
   std::span<const std::byte> payload;
-  while (read_record(buffer, env, payload)) {
+  AmDispatchBatch batch;
+  while (read_record(cursor, env, payload)) {
     ++records;
     if (env.type == kReplyType) {
       replies_received_->inc();
-      Completer completer;
-      {
-        std::lock_guard lock(pending_mu_);
-        auto it = pending_.find(env.req_id);
-        if (it == pending_.end()) {
-          throw Error("AmEngine: reply for unknown request " +
-                      std::to_string(env.req_id));
-        }
-        completer = std::move(it->second);
-        pending_.erase(it);
-      }
-      ByteBuffer copy;
-      copy.write(payload.data(), payload.size());
-      Deserializer de(copy);
+      Completer completer = take_completer(env.req_id);
+      // Deserialize the return value straight from the inbox buffer; the
+      // borrowed view only needs to outlive this synchronous call.
+      Deserializer de(payload);
       completer(de);
       continue;
     }
     AmRegistry::instance().handler(env.type)(*this, src, env.req_id, env.flags,
-                                             payload);
+                                             payload, batch);
   }
+  // Every payload view has been consumed: hand the drained buffer to the
+  // pool so a later send reuses its storage, then inject every AM task of
+  // this aggregated buffer at once (one pending update, one wake).
+  outgoing_.recycle(std::move(buffer));
+  pool_.spawn_batch(std::move(batch.tasks));
   span.finish(lamellae_.clock().now(), records);
 }
 

@@ -15,6 +15,7 @@
 //    to local execution in exec_am_*).
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <memory>
 #include <mutex>
@@ -113,10 +114,14 @@ class AmEngine {
 
   /// Core send: invoke `on_result` with exec()'s result once the AM has
   /// completed (possibly remotely).  `on_result` runs on a runtime thread.
+  ///
+  /// Counter increments are relaxed: only the values matter (outstanding()
+  /// pairs its acquire loads with the release operations of the futures /
+  /// fabric that publish the results themselves).
   template <ActiveMessageType Am, typename Fn>
   void send_cb(pe_id dst, Am am, Fn on_result) {
     using R = am_return_t<Am>;
-    launched_.fetch_add(1, std::memory_order_acq_rel);
+    launched_.fetch_add(1, std::memory_order_relaxed);
     if (dst == my_pe()) {
       // Local bypass: execute as a pool task without serialization.
       am_sent_local_->inc();
@@ -127,12 +132,13 @@ class AmEngine {
         AmContext ctx(*world_, src);
         cb(invoke_exec<Am>(am, ctx));
         am_executed_->inc();
-        completed_.fetch_add(1, std::memory_order_acq_rel);
+        completed_.fetch_add(1, std::memory_order_relaxed);
       });
       return;
     }
 
-    const request_id rid = next_request_id_.fetch_add(1);
+    const request_id rid =
+        next_request_id_.fetch_add(1, std::memory_order_relaxed);
     am_sent_remote_->inc();
     const sim_nanos sent_at = lamellae_.clock().now();
     register_completer(
@@ -142,42 +148,16 @@ class AmEngine {
           R r{};
           de.get(r);
           cb(std::move(r));
-          completed_.fetch_add(1, std::memory_order_acq_rel);
+          completed_.fetch_add(1, std::memory_order_relaxed);
         });
-
-    ByteBuffer record;
-    {
-      // Reserve the header, then serialize the payload in place.
-      Serializer ser(record);
-      record.write_pod<std::uint32_t>(AmTypeId<Am>::id);
-      record.write_pod<std::uint32_t>(kWantsReply);
-      record.write_pod<std::uint64_t>(rid);
-      record.write_pod<std::uint64_t>(0);  // patched below
-      ScopedWorld scope(world_);
-      ser.put(am);
-    }
-    patch_payload_len(record);
-    charge_serialize(record.size());
-    enqueue_record(dst, std::move(record));
+    write_record_inplace(dst, AmTypeId<Am>::id, kWantsReply, rid, am);
   }
 
   /// Send a reply for request `rid` back to `dst` (used by executors).
   template <typename R>
   void send_reply(pe_id dst, request_id rid, const R& value) {
     replies_sent_->inc();
-    ByteBuffer record;
-    {
-      Serializer ser(record);
-      record.write_pod<std::uint32_t>(kReplyType);
-      record.write_pod<std::uint32_t>(0);
-      record.write_pod<std::uint64_t>(rid);
-      record.write_pod<std::uint64_t>(0);
-      ScopedWorld scope(world_);
-      ser.put(value);
-    }
-    patch_payload_len(record);
-    charge_serialize(record.size());
-    enqueue_record(dst, std::move(record));
+    write_record_inplace(dst, kReplyType, 0, rid, value);
   }
 
   // ---- progress / waiting ----
@@ -240,10 +220,45 @@ class AmEngine {
  private:
   using Completer = UniqueFunction<void(Deserializer&)>;
 
+  /// Serialize one record (header + payload) directly into the destination
+  /// lane's active aggregation buffer under the lane lock — the single byte
+  /// copy a steady-state remote AM performs.  The payload length is patched
+  /// into the header after serialization; records at or above the
+  /// aggregation threshold leave immediately (large-record bypass).
+  template <typename T>
+  void write_record_inplace(pe_id dst, am_type_id type, std::uint32_t flags,
+                            request_id rid, const T& value) {
+    const auto progress = [this] { poll_inbox(); };
+    auto w = outgoing_.begin_record(dst);
+    ByteBuffer& rec = w.buffer();
+    const std::size_t start = w.record_start();
+    rec.write_pod<std::uint32_t>(type);
+    rec.write_pod<std::uint32_t>(flags);
+    rec.write_pod<std::uint64_t>(rid);
+    rec.write_pod<std::uint64_t>(0);  // payload length, patched below
+    {
+      Serializer ser(rec);
+      ScopedWorld scope(world_);
+      ser.put(value);
+    }
+    const std::size_t record_bytes = rec.size() - start;
+    rec.patch_pod<std::uint64_t>(
+        start + kRecordHeaderBytes - sizeof(std::uint64_t),
+        record_bytes - kRecordHeaderBytes);
+    bytes_copied_->inc(record_bytes);
+    charge_serialize(record_bytes);
+    outgoing_.commit_record(w, progress);
+  }
+
+  static constexpr std::size_t kPendingShards = 16;
+  struct alignas(kCacheLine) PendingShard {
+    std::mutex mu;
+    std::unordered_map<request_id, Completer> map;
+  };
+
   void register_completer(request_id rid, Completer completer);
-  void enqueue_record(pe_id dst, ByteBuffer record);
+  Completer take_completer(request_id rid);
   void charge_serialize(std::size_t bytes);
-  static void patch_payload_len(ByteBuffer& record);
   void dispatch_buffer(ByteBuffer buffer, pe_id src);
 
   Lamellae& lamellae_;
@@ -260,11 +275,13 @@ class AmEngine {
   obs::Counter* replies_sent_;
   obs::Counter* replies_received_;
   obs::Counter* bytes_serialized_;
+  obs::Counter* bytes_copied_;
   obs::Counter* idle_flushes_;
   obs::Histogram* reply_latency_ns_;
 
-  std::mutex pending_mu_;
-  std::unordered_map<request_id, Completer> pending_;
+  // Reply completers, sharded by request id so completion bookkeeping on
+  // one record does not serialize against registration of the next.
+  std::array<PendingShard, kPendingShards> pending_;
   std::atomic<request_id> next_request_id_{1};
 
   std::atomic<std::uint64_t> launched_{0};
@@ -280,17 +297,18 @@ template <typename T>
 concept InlineAm = requires { T::kRuntimeInternal; };
 
 /// Type-erased execution shim instantiated per AM type by the registration
-/// macro: deserialize, spawn the execution task (or run inline for runtime-
-/// internal control messages), and send the reply.
+/// macro: deserialize straight from the borrowed inbox view (no
+/// intermediate copy), collect the execution task into the dispatch batch
+/// (or run inline for runtime-internal control messages), and send the
+/// reply.
 template <typename Am>
 struct AmExecutor {
   static void execute(AmEngine& engine, pe_id src, request_id rid,
-                      std::uint32_t flags, std::span<const std::byte> payload) {
-    ByteBuffer copy;
-    copy.write(payload.data(), payload.size());
+                      std::uint32_t flags, std::span<const std::byte> payload,
+                      AmDispatchBatch& batch) {
     Am am{};
     {
-      Deserializer de(copy);
+      Deserializer de(payload);
       ScopedWorld scope(engine.world());
       de.get(am);
     }
@@ -303,8 +321,8 @@ struct AmExecutor {
       if ((flags & kWantsReply) != 0) engine.send_reply(src, rid, result);
       return;
     } else {
-      engine.pool().spawn([&engine, am = std::move(am), src, rid,
-                           flags]() mutable {
+      batch.tasks.emplace_back([&engine, am = std::move(am), src, rid,
+                                flags]() mutable {
         ScopedWorld scope(engine.world());
         AmContext ctx(*engine.world(), src);
         auto result = AmEngine::invoke_exec<Am>(am, ctx);

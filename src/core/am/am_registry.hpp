@@ -14,16 +14,27 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "core/scheduler/task.hpp"
 
 namespace lamellar {
 
 class AmEngine;
 
-/// Type-erased executor: deserializes an AM of its type from `payload`,
-/// schedules its execution on the engine's pool, and arranges the reply.
+/// Execution tasks collected while one aggregated buffer is parsed, then
+/// injected into the thread pool as a single batch (one pending-count
+/// update, one wake) instead of per-record spawns.
+struct AmDispatchBatch {
+  std::vector<Task> tasks;
+};
+
+/// Type-erased executor: deserializes an AM of its type straight from the
+/// borrowed `payload` view (valid only for the duration of the call),
+/// appends the execution task to `batch` (or runs inline for runtime-
+/// internal AMs), and arranges the reply.
 using AmExecuteFn = void (*)(AmEngine& engine, pe_id src, request_id req_id,
                              std::uint32_t flags,
-                             std::span<const std::byte> payload);
+                             std::span<const std::byte> payload,
+                             AmDispatchBatch& batch);
 
 class AmRegistry {
  public:

@@ -7,9 +7,11 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <span>
 
 #include "common/bytes.hpp"
+#include "common/error.hpp"
 #include "common/types.hpp"
 
 namespace lamellar {
@@ -38,8 +40,29 @@ inline void write_record(ByteBuffer& out, const AmEnvelope& env,
   out.write(payload.data(), payload.size());
 }
 
-/// Read the next record from `in`.  Returns false at end of buffer.  The
-/// payload view aliases `in` and is valid until the buffer is destroyed.
+/// Read the next record from the front of `in`, shrinking `in` past it.
+/// Returns false when `in` is empty.  The payload view aliases the original
+/// buffer and is valid as long as that buffer's storage is.
+inline bool read_record(std::span<const std::byte>& in, AmEnvelope& env,
+                        std::span<const std::byte>& payload) {
+  if (in.empty()) return false;
+  if (in.size() < kRecordHeaderBytes) {
+    throw DeserializeError("read_record: truncated record header");
+  }
+  std::uint64_t len = 0;
+  std::memcpy(&env.type, in.data(), sizeof(env.type));
+  std::memcpy(&env.flags, in.data() + 4, sizeof(env.flags));
+  std::memcpy(&env.req_id, in.data() + 8, sizeof(env.req_id));
+  std::memcpy(&len, in.data() + 16, sizeof(len));
+  if (in.size() - kRecordHeaderBytes < len) {
+    throw DeserializeError("read_record: truncated record payload");
+  }
+  payload = in.subspan(kRecordHeaderBytes, static_cast<std::size_t>(len));
+  in = in.subspan(kRecordHeaderBytes + static_cast<std::size_t>(len));
+  return true;
+}
+
+/// ByteBuffer convenience: reads at the buffer's cursor, advancing it.
 inline bool read_record(ByteBuffer& in, AmEnvelope& env,
                         std::span<const std::byte>& payload) {
   if (in.remaining() == 0) return false;

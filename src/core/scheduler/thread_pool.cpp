@@ -46,6 +46,31 @@ void ThreadPool::spawn(Task task) {
   notify_one();
 }
 
+void ThreadPool::spawn_batch(std::vector<Task> tasks) {
+  if (tasks.empty()) return;
+  const std::size_t n = tasks.size();
+  const std::size_t depth =
+      pending_.fetch_add(n, std::memory_order_acq_rel) + n;
+  tasks_spawned_->inc(n);
+  queue_depth_->set(static_cast<std::int64_t>(depth));
+  for (Task& task : tasks) {
+    auto* heap_task = new Task(std::move(task));
+    if (tl_pool == this) {
+      workers_[tl_worker_index]->deque.push(heap_task);
+    } else {
+      injection_.push(heap_task);
+    }
+  }
+  // One wake for the whole batch; waking everyone lets idle workers start
+  // stealing the freshly injected records immediately.
+  std::lock_guard lock(sleep_mu_);
+  if (n > 1) {
+    sleep_cv_.notify_all();
+  } else {
+    sleep_cv_.notify_one();
+  }
+}
+
 void ThreadPool::notify_one() {
   std::lock_guard lock(sleep_mu_);
   sleep_cv_.notify_one();

@@ -60,6 +60,11 @@ class ThreadPool {
   /// external threads use the injection queue.
   void spawn(Task task);
 
+  /// Submit a whole batch of tasks with a single pending_ update and a
+  /// single wake, instead of per-task spawn/notify.  Used by receive-side
+  /// dispatch to inject every AM of an aggregated buffer at once.
+  void spawn_batch(std::vector<Task> tasks);
+
   /// Execute one pending task on the calling thread if available.  Returns
   /// true when a task ran.  Used by helping waits.
   bool try_run_one();

@@ -1,9 +1,19 @@
 #include "lamellae/cmd_queue.hpp"
 
+#include <algorithm>
+
 namespace lamellar {
 
+namespace {
+// Extra reserve beyond the flush threshold so the record that tips a buffer
+// over the threshold normally fits without reallocating.
+constexpr std::size_t kRecordSlack = 4096;
+}  // namespace
+
 OutgoingQueues::OutgoingQueues(Lamellae& lamellae, std::size_t flush_threshold)
-    : lamellae_(lamellae), threshold_(flush_threshold) {
+    : lamellae_(lamellae),
+      threshold_(flush_threshold),
+      pool_(std::max<std::size_t>(16, 2 * lamellae.num_pes())) {
   lanes_.reserve(lamellae.num_pes());
   for (std::size_t i = 0; i < lamellae.num_pes(); ++i) {
     lanes_.push_back(std::make_unique<Lane>());
@@ -16,28 +26,62 @@ OutgoingQueues::OutgoingQueues(Lamellae& lamellae, std::size_t flush_threshold)
       &reg.counter("cmdq.flush_explicit"),
       &reg.counter("cmdq.bypass_large"),
       &reg.counter("cmdq.backpressure_stalls"),
+      &reg.counter("cmdq.buffers_recycled"),
+      &reg.counter("cmdq.buffers_allocated"),
   };
+}
+
+OutgoingQueues::RecordWriter::~RecordWriter() {
+  // An uncommitted record (serialization threw) must not leak half-written
+  // bytes into the lane: roll the buffer back to where the record began.
+  if (q_ != nullptr && !committed_) buf_->truncate(start_);
+}
+
+void OutgoingQueues::prime(Lane& lane) {
+  if (lane.active.capacity() != 0) return;
+  bool hit = false;
+  lane.active = pool_.acquire(threshold_ + kRecordSlack, &hit);
+  if (!hit) metrics_.buffers_allocated->inc();
+}
+
+OutgoingQueues::RecordWriter OutgoingQueues::begin_record(pe_id dst) {
+  Lane& lane = *lanes_[dst];
+  std::unique_lock lock(lane.mu);
+  prime(lane);
+  return RecordWriter(*this, dst, lane.active, lane.active.size(),
+                      std::move(lock));
+}
+
+void OutgoingQueues::commit_record(RecordWriter& w, const ProgressFn& progress) {
+  Lane& lane = *lanes_[w.dst_];
+  const bool was_counted = w.start_ > 0;
+  const std::size_t record_bytes = lane.active.size() - w.start_;
+  w.committed_ = true;
+  ByteBuffer to_send;
+  if (lane.active.size() >= threshold_) {
+    // Swap the filled buffer out; the lane goes back to empty immediately
+    // (the second half of the double buffer) so other writers continue.
+    to_send = std::move(lane.active);
+    lane.active = ByteBuffer{};
+    if (was_counted) nonempty_lanes_.fetch_sub(1, std::memory_order_relaxed);
+    (record_bytes >= threshold_ ? metrics_.bypass_large
+                                : metrics_.flush_threshold)
+        ->inc();
+  } else if (!was_counted && record_bytes > 0) {
+    nonempty_lanes_.fetch_add(1, std::memory_order_relaxed);
+  }
+  w.lock_.unlock();
+  if (!to_send.empty()) {
+    lamellae_.charge(lamellae_.params().agg_flush_overhead_ns);
+    transmit(w.dst_, std::move(to_send), progress);
+  }
 }
 
 void OutgoingQueues::push(pe_id dst, std::span<const std::byte> record,
                           const ProgressFn& progress) {
-  Lane& lane = *lanes_[dst];
-  ByteBuffer to_send;
-  {
-    std::lock_guard lock(lane.mu);
-    lane.active.write(record.data(), record.size());
-    if (lane.active.size() >= threshold_) {
-      // Swap the filled buffer out; a fresh one becomes active immediately
-      // (the second half of the double buffer) so other workers continue.
-      to_send = std::move(lane.active);
-      lane.active = ByteBuffer{};
-    }
-  }
-  if (!to_send.empty()) {
-    metrics_.flush_threshold->inc();
-    lamellae_.charge(lamellae_.params().agg_flush_overhead_ns);
-    transmit(dst, std::move(to_send), progress);
-  }
+  auto w = begin_record(dst);
+  w.buffer().write(record.data(), record.size());
+  commit_record(w, progress);
 }
 
 void OutgoingQueues::send_now(pe_id dst, ByteBuffer buf,
@@ -57,6 +101,7 @@ void OutgoingQueues::flush(pe_id dst, const ProgressFn& progress) {
     if (lane.active.empty()) return;
     to_send = std::move(lane.active);
     lane.active = ByteBuffer{};
+    nonempty_lanes_.fetch_sub(1, std::memory_order_relaxed);
   }
   metrics_.flush_explicit->inc();
   lamellae_.charge(lamellae_.params().agg_flush_overhead_ns);
@@ -67,12 +112,9 @@ void OutgoingQueues::flush_all(const ProgressFn& progress) {
   for (pe_id dst = 0; dst < lanes_.size(); ++dst) flush(dst, progress);
 }
 
-bool OutgoingQueues::has_pending() const {
-  for (const auto& lane : lanes_) {
-    std::lock_guard lock(lane->mu);
-    if (!lane->active.empty()) return true;
-  }
-  return false;
+void OutgoingQueues::recycle(ByteBuffer buf) {
+  if (buf.capacity() == 0) return;
+  if (pool_.release(std::move(buf))) metrics_.buffers_recycled->inc();
 }
 
 void OutgoingQueues::transmit(pe_id dst, ByteBuffer buf,

@@ -1,12 +1,16 @@
 // Outgoing command queues: per-destination double-buffered staging of
 // serialized records (paper Sec. III-A1, "double buffering message queue").
 //
-// Small records are appended to a per-destination active buffer; when the
-// buffer reaches the aggregation threshold it is swapped out (the second
-// buffer of the pair becomes active) and handed to the Lamellae while workers
-// keep filling.  Records larger than the threshold bypass aggregation and
-// are sent directly — the behaviour the paper describes around the 100 KB
-// default threshold.
+// The hot path is zero-copy: callers open an in-place record on the
+// destination lane (`begin_record`), serialize header + payload directly
+// into the active buffer while holding the lane lock, and `commit_record`
+// decides whether the buffer leaves.  Buffers that fill to the aggregation
+// threshold are swapped out (the second half of the double buffer becomes
+// active immediately) and handed to the Lamellae; a record that is itself
+// at or above the threshold leaves on its own — the large-record bypass the
+// paper describes around the 100 KB default.  Swapped-out buffers are
+// replaced from a per-PE BufferPool, and receivers recycle drained inbox
+// buffers back into it, so steady-state traffic performs no heap growth.
 #pragma once
 
 #include <atomic>
@@ -16,6 +20,7 @@
 #include <span>
 #include <vector>
 
+#include "common/buffer_pool.hpp"
 #include "common/bytes.hpp"
 #include "common/types.hpp"
 #include "lamellae/lamellae.hpp"
@@ -31,7 +36,45 @@ class OutgoingQueues {
 
   OutgoingQueues(Lamellae& lamellae, std::size_t flush_threshold);
 
-  /// Append one serialized record destined for `dst`.  May flush.
+  /// An open in-place record on one destination lane.  Holds the lane lock
+  /// from begin_record() until commit_record() (or destruction, which rolls
+  /// an uncommitted record back), so the caller may serialize directly into
+  /// buffer() without another writer interleaving bytes.
+  class RecordWriter {
+   public:
+    RecordWriter(const RecordWriter&) = delete;
+    RecordWriter& operator=(const RecordWriter&) = delete;
+    ~RecordWriter();
+
+    /// The lane's active buffer; append the record at the current end.
+    [[nodiscard]] ByteBuffer& buffer() { return *buf_; }
+    /// Offset in buffer() where this record starts.
+    [[nodiscard]] std::size_t record_start() const { return start_; }
+
+   private:
+    friend class OutgoingQueues;
+    RecordWriter(OutgoingQueues& q, pe_id dst, ByteBuffer& buf,
+                 std::size_t start, std::unique_lock<std::mutex> lock)
+        : q_(&q), dst_(dst), buf_(&buf), start_(start),
+          lock_(std::move(lock)) {}
+
+    OutgoingQueues* q_;
+    pe_id dst_;
+    ByteBuffer* buf_;
+    std::size_t start_;
+    std::unique_lock<std::mutex> lock_;
+    bool committed_ = false;
+  };
+
+  /// Open an in-place record destined for `dst`.
+  RecordWriter begin_record(pe_id dst);
+
+  /// Close the record opened by `w`: update lane occupancy, swap the buffer
+  /// out if it reached the threshold, and transmit outside the lane lock.
+  void commit_record(RecordWriter& w, const ProgressFn& progress);
+
+  /// Append one pre-serialized record destined for `dst` (copying path kept
+  /// for callers that already own a buffer).  May flush.
   void push(pe_id dst, std::span<const std::byte> record,
             const ProgressFn& progress);
 
@@ -45,8 +88,17 @@ class OutgoingQueues {
   /// Flush every destination.
   void flush_all(const ProgressFn& progress);
 
-  [[nodiscard]] bool has_pending() const;
+  /// Return a drained buffer (swapped-out lane or inbox payload) to the
+  /// per-PE pool for reuse.
+  void recycle(ByteBuffer buf);
+
+  /// Relaxed count of non-empty lanes — safe to call in tight wait loops
+  /// without touching any lane lock.
+  [[nodiscard]] bool has_pending() const {
+    return nonempty_lanes_.load(std::memory_order_relaxed) != 0;
+  }
   [[nodiscard]] std::size_t flush_threshold() const { return threshold_; }
+  [[nodiscard]] BufferPool& pool() { return pool_; }
 
  private:
   struct Lane {
@@ -55,8 +107,8 @@ class OutgoingQueues {
   };
 
   // Resolved once from the PE's metrics registry ("cmdq.*" namespace):
-  // buffers/bytes handed to the fabric, flushes split by cause, and
-  // full-inbox stalls observed while transmitting.
+  // buffers/bytes handed to the fabric, flushes split by cause, pool
+  // traffic, and full-inbox stalls observed while transmitting.
   struct CmdQueueCounters {
     obs::Counter* buffers_sent;
     obs::Counter* bytes_sent;
@@ -64,13 +116,19 @@ class OutgoingQueues {
     obs::Counter* flush_explicit;
     obs::Counter* bypass_large;
     obs::Counter* backpressure_stalls;
+    obs::Counter* buffers_recycled;
+    obs::Counter* buffers_allocated;
   };
 
+  /// Ensure `lane.active` has pooled backing storage (called under lock).
+  void prime(Lane& lane);
   void transmit(pe_id dst, ByteBuffer buf, const ProgressFn& progress);
 
   Lamellae& lamellae_;
   std::size_t threshold_;
   std::vector<std::unique_ptr<Lane>> lanes_;
+  BufferPool pool_;
+  std::atomic<std::size_t> nonempty_lanes_{0};
   CmdQueueCounters metrics_;
 };
 

@@ -137,6 +137,36 @@ TEST(ThreadPool, TryRunOneHelpsFromExternalThread) {
   while (pool.pending() > 0) std::this_thread::yield();
 }
 
+TEST(ThreadPool, SpawnBatchRunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  std::vector<Task> batch;
+  for (int i = 0; i < 128; ++i) {
+    batch.emplace_back([&count] { count.fetch_add(1); });
+  }
+  pool.spawn_batch(std::move(batch));
+  while (pool.pending() > 0) std::this_thread::yield();
+  EXPECT_EQ(count.load(), 128);
+  pool.spawn_batch({});  // empty batch is a no-op
+  EXPECT_EQ(pool.pending(), 0u);
+}
+
+TEST(ThreadPool, SpawnBatchFromWorkerIsStealable) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  // A worker injecting a batch pushes to its own deque; siblings must be
+  // woken and able to steal the records.
+  pool.spawn([&] {
+    std::vector<Task> batch;
+    for (int i = 0; i < 64; ++i) {
+      batch.emplace_back([&count] { count.fetch_add(1); });
+    }
+    pool.spawn_batch(std::move(batch));
+  });
+  while (pool.pending() > 0) std::this_thread::yield();
+  EXPECT_EQ(count.load(), 64);
+}
+
 TEST(ThreadPool, ProgressHookRunsWhenIdle) {
   std::atomic<int> hook_calls{0};
   ThreadPool pool(1, [&hook_calls] { hook_calls.fetch_add(1); });
