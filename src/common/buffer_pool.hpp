@@ -54,6 +54,10 @@ class BufferPool {
     return free_.size();
   }
 
+  /// Retention bound: size() never exceeds this (pool-accounting invariant
+  /// checked by the stress harness).
+  [[nodiscard]] std::size_t max_buffers() const { return max_buffers_; }
+
  private:
   std::size_t max_buffers_;
   mutable std::mutex mu_;

@@ -24,6 +24,7 @@ class ByteBuffer {
 
   /// Append raw bytes to the end of the buffer.
   void write(const void* src, std::size_t n) {
+    if (n == 0) return;  // src may be null (e.g. empty vector's data())
     const auto* p = static_cast<const std::byte*>(src);
     data_.insert(data_.end(), p, p + n);
   }
@@ -48,6 +49,7 @@ class ByteBuffer {
 
   /// Copy `n` bytes from the read cursor into `dst`, advancing the cursor.
   void read(void* dst, std::size_t n) {
+    if (n == 0) return;  // dst may be null (e.g. empty vector's data())
     if (read_pos_ + n > data_.size()) {
       throw DeserializeError("ByteBuffer::read past end of buffer");
     }

@@ -3,6 +3,13 @@
 // Used for scheduler injection queues and command-queue staging.  A lock-free
 // design is unnecessary here: contention is bounded by PE/thread counts and
 // the critical sections are a few pointer moves.
+//
+// Concurrency invariant (audited under TSan): every access to items_ holds
+// mu_, so push/try_pop/drain_into/empty/size are linearizable and items are
+// handed between threads with full mutex ordering — a consumer that pops a
+// pointer observes every write the producer made before push().  Note that
+// empty()/size() answers are stale the moment the lock is released; callers
+// must not treat them as claims.
 #pragma once
 
 #include <deque>

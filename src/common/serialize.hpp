@@ -184,6 +184,7 @@ class Deserializer {
 
   /// Copy `n` raw bytes at the cursor into `dst`, advancing the cursor.
   void read(void* dst, std::size_t n) {
+    if (n == 0) return;  // dst may be null (e.g. empty vector's data())
     if (pos_ + n > data_.size()) {
       throw DeserializeError("Deserializer: read past end of input");
     }

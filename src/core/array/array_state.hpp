@@ -229,9 +229,22 @@ T apply_one(ArrayState<T>& st, std::size_t local, OpCode op, T operand) {
     case ArrayMode::kUnsafe:
     case ArrayMode::kReadOnly: {
       // ReadOnly permits only loads (enforced by the wrapper API).
-      const T prev = *slot;
-      if (op != OpCode::kLoad) *slot = combine(op, prev, operand);
-      return prev;
+      // UnsafeArray promises no read-modify-write atomicity: racing updates
+      // may lose increments, exactly as the paper specifies.  The individual
+      // load and store still go through a relaxed atomic_ref so a racing
+      // access is tear-free and not a C++ data race (plain accesses here
+      // would be UB and drown TSan in by-design reports).
+      if constexpr (kNativeAtomicCapable<T>) {
+        std::atomic_ref<T> ref(*slot);
+        const T prev = ref.load(std::memory_order_relaxed);
+        if (op != OpCode::kLoad)
+          ref.store(combine(op, prev, operand), std::memory_order_relaxed);
+        return prev;
+      } else {
+        const T prev = *slot;
+        if (op != OpCode::kLoad) *slot = combine(op, prev, operand);
+        return prev;
+      }
     }
     case ArrayMode::kAtomicNative: {
       if constexpr (kNativeAtomicCapable<T>) {
@@ -314,11 +327,24 @@ CexResult<T> apply_cex(ArrayState<T>& st, std::size_t local, T expected,
       return {*slot, 0};
     }
     case ArrayMode::kUnsafe: {
-      if (*slot == expected) {
-        *slot = desired;
-        return {expected, 1};
+      // Non-atomic check-then-store (see apply_one): relaxed accesses keep
+      // the by-design race tear-free without adding a synchronization
+      // guarantee UnsafeArray does not offer.
+      if constexpr (kNativeAtomicCapable<T>) {
+        std::atomic_ref<T> ref(*slot);
+        const T cur = ref.load(std::memory_order_relaxed);
+        if (cur == expected) {
+          ref.store(desired, std::memory_order_relaxed);
+          return {expected, 1};
+        }
+        return {cur, 0};
+      } else {
+        if (*slot == expected) {
+          *slot = desired;
+          return {expected, 1};
+        }
+        return {*slot, 0};
       }
-      return {*slot, 0};
     }
     case ArrayMode::kReadOnly:
       throw Error("compare_exchange on ReadOnlyArray");

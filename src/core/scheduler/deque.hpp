@@ -46,10 +46,19 @@ class WorkStealingDeque {
     for (auto* a : retired_) delete a;
   }
 
+  /// Owner only: number of grown-and-replaced ring arrays not yet freed.
+  [[nodiscard]] std::size_t retired_count() const { return retired_.size(); }
+
   WorkStealingDeque(const WorkStealingDeque&) = delete;
   WorkStealingDeque& operator=(const WorkStealingDeque&) = delete;
 
   /// Owner only: push a (heap-allocated) item.
+  //
+  // Orderings are the fence-free variant of Lê et al.: the release store
+  // to bottom_ publishes the slot write (and the item it points to) to any
+  // thief whose bottom_ load observes it.  Fences are avoided throughout
+  // the deque because ThreadSanitizer does not model atomic_thread_fence —
+  // the fence formulation is correct but unverifiable; this one is both.
   void push(T* item) {
     const std::int64_t b = bottom_.load(std::memory_order_relaxed);
     const std::int64_t t = top_.load(std::memory_order_acquire);
@@ -58,19 +67,25 @@ class WorkStealingDeque {
       a = grow(a, t, b);
     }
     a->put(static_cast<std::size_t>(b), item);
-    std::atomic_thread_fence(std::memory_order_release);
-    bottom_.store(b + 1, std::memory_order_relaxed);
+    bottom_.store(b + 1, std::memory_order_release);
   }
 
   /// Owner only: pop the most recently pushed item (LIFO), or nullptr.
   T* pop() {
     const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
     RingArray* a = array_.load(std::memory_order_relaxed);
-    bottom_.store(b, std::memory_order_relaxed);
-    std::atomic_thread_fence(std::memory_order_seq_cst);
-    std::int64_t t = top_.load(std::memory_order_relaxed);
+    // seq_cst store/load pair replaces the classic store;fence;load: the
+    // total order forbids reordering the bottom_ announcement after the
+    // top_ read, which is what keeps pop and steal from both taking the
+    // last element.
+    bottom_.store(b, std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
     if (t > b) {
       bottom_.store(b + 1, std::memory_order_relaxed);
+      // Empty deque is the reclamation quiesce point: without it, retired
+      // arrays accumulate until destruction, leaking memory proportional
+      // to the peak depth of every long-lived worker.
+      reclaim_retired();
       return nullptr;
     }
     T* item = a->get(static_cast<std::size_t>(b));
@@ -87,16 +102,25 @@ class WorkStealingDeque {
 
   /// Any thread: steal the oldest item (FIFO), or nullptr.
   T* steal() {
-    std::int64_t t = top_.load(std::memory_order_acquire);
-    std::atomic_thread_fence(std::memory_order_seq_cst);
-    const std::int64_t b = bottom_.load(std::memory_order_acquire);
-    if (t >= b) return nullptr;
-    RingArray* a = array_.load(std::memory_order_consume);
-    T* item = a->get(static_cast<std::size_t>(t));
-    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
-                                      std::memory_order_relaxed)) {
-      return nullptr;  // lost the race
+    // Announce the steal before touching any ring array.  Both counter RMWs
+    // and the array_ load are seq_cst: together with the owner's seq_cst
+    // check in reclaim_retired() this guarantees a thief either appears in
+    // the counter before the owner reads it, or — ordered after the owner's
+    // read in the seq_cst total order — can only load the *current* array,
+    // never one retired before the reclamation check (see reclaim_retired).
+    in_flight_steals_.fetch_add(1, std::memory_order_seq_cst);
+    T* item = nullptr;
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+    if (t < b) {
+      RingArray* a = array_.load(std::memory_order_seq_cst);
+      item = a->get(static_cast<std::size_t>(t));
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        item = nullptr;  // lost the race
+      }
     }
+    in_flight_steals_.fetch_sub(1, std::memory_order_seq_cst);
     return item;
   }
 
@@ -119,15 +143,33 @@ class WorkStealingDeque {
       bigger->put(static_cast<std::size_t>(i),
                   old->get(static_cast<std::size_t>(i)));
     }
-    array_.store(bigger, std::memory_order_release);
+    // seq_cst so a thief's (seq_cst) array_ load ordered after the owner's
+    // reclamation check cannot observe a pointer retired before this store.
+    array_.store(bigger, std::memory_order_seq_cst);
     // Old arrays are retired, not freed: thieves may still hold a pointer.
     retired_.push_back(old);
     return bigger;
   }
 
+  /// Owner only, called with the deque observed empty.  Retired arrays are
+  /// freed once no steal is in flight.  Safety: a thief inside steal() at
+  /// the time of the counter read is visible in in_flight_steals_ (its
+  /// seq_cst increment precedes the owner's seq_cst load in the total
+  /// order, and its decrement follows its last array access); a thief that
+  /// enters afterwards loads array_ with seq_cst and therefore sees the
+  /// replacement stored by grow() — which precedes this check in the
+  /// owner's program order — never a retired array.
+  void reclaim_retired() {
+    if (retired_.empty()) return;
+    if (in_flight_steals_.load(std::memory_order_seq_cst) != 0) return;
+    for (auto* a : retired_) delete a;
+    retired_.clear();
+  }
+
   alignas(kCacheLine) std::atomic<std::int64_t> top_{0};
   alignas(kCacheLine) std::atomic<std::int64_t> bottom_{0};
   alignas(kCacheLine) std::atomic<RingArray*> array_;
+  alignas(kCacheLine) std::atomic<std::int64_t> in_flight_steals_{0};
   std::vector<RingArray*> retired_;  // owner-only mutation (inside push)
 };
 

@@ -8,8 +8,8 @@ thread_local ThreadPool* ThreadPool::tl_pool = nullptr;
 thread_local std::size_t ThreadPool::tl_worker_index = 0;
 
 ThreadPool::ThreadPool(std::size_t num_workers, ProgressHook progress,
-                       SchedulerObs obs)
-    : progress_(std::move(progress)) {
+                       SchedulerObs obs, std::chrono::microseconds park_timeout)
+    : progress_(std::move(progress)), park_timeout_(park_timeout) {
   obs::MetricsRegistry& reg = obs.registry != nullptr
                                   ? *obs.registry
                                   : obs::MetricsRegistry::disabled_instance();
@@ -35,6 +35,7 @@ ThreadPool::~ThreadPool() { shutdown(); }
 
 void ThreadPool::spawn(Task task) {
   const std::size_t depth = pending_.fetch_add(1, std::memory_order_acq_rel);
+  unclaimed_.fetch_add(1, std::memory_order_release);
   tasks_spawned_->inc();
   queue_depth_->set(static_cast<std::int64_t>(depth) + 1);
   auto* heap_task = new Task(std::move(task));
@@ -51,6 +52,7 @@ void ThreadPool::spawn_batch(std::vector<Task> tasks) {
   const std::size_t n = tasks.size();
   const std::size_t depth =
       pending_.fetch_add(n, std::memory_order_acq_rel) + n;
+  unclaimed_.fetch_add(n, std::memory_order_release);
   tasks_spawned_->inc(n);
   queue_depth_->set(static_cast<std::int64_t>(depth));
   for (Task& task : tasks) {
@@ -79,10 +81,16 @@ void ThreadPool::notify_one() {
 Task* ThreadPool::find_task(std::size_t self_index) {
   // 1. Own deque (LIFO for locality).
   if (self_index != static_cast<std::size_t>(-1)) {
-    if (Task* t = workers_[self_index]->deque.pop()) return t;
+    if (Task* t = workers_[self_index]->deque.pop()) {
+      unclaimed_.fetch_sub(1, std::memory_order_relaxed);
+      return t;
+    }
   }
   // 2. Injection queue.
-  if (auto t = injection_.try_pop()) return *t;
+  if (auto t = injection_.try_pop()) {
+    unclaimed_.fetch_sub(1, std::memory_order_relaxed);
+    return *t;
+  }
   // 3. Steal (FIFO) from siblings.
   const std::size_t n = workers_.size();
   const std::size_t start = self_index == static_cast<std::size_t>(-1)
@@ -94,6 +102,7 @@ Task* ThreadPool::find_task(std::size_t self_index) {
     if (victim == self_index) continue;
     attempted_steal = true;
     if (Task* t = workers_[victim]->deque.steal()) {
+      unclaimed_.fetch_sub(1, std::memory_order_relaxed);
       tasks_stolen_->inc();
       return t;
     }
@@ -145,8 +154,17 @@ void ThreadPool::worker_loop(std::size_t index) {
       continue;
     }
     // Park with a timeout so the progress hook keeps polling the inbox.
+    // The predicate re-checks queued work and shutdown under sleep_mu_:
+    // a spawn that raced the pre-park task search has incremented
+    // unclaimed_ before its notify, so either the predicate sees it here
+    // (and the wait returns immediately) or the notify arrives while we
+    // wait — a wakeup can no longer fall into the gap between the last
+    // find_task() and the wait.
     std::unique_lock lock(sleep_mu_);
-    sleep_cv_.wait_for(lock, std::chrono::microseconds(200));
+    sleep_cv_.wait_for(lock, park_timeout_, [&] {
+      return stopping_.load(std::memory_order_relaxed) ||
+             unclaimed_.load(std::memory_order_relaxed) != 0;
+    });
     idle_spins = 0;
   }
   tl_pool = nullptr;
@@ -166,6 +184,7 @@ void ThreadPool::shutdown() {
   while (auto t = injection_.try_pop()) {
     delete *t;
     pending_.fetch_sub(1, std::memory_order_acq_rel);
+    unclaimed_.fetch_sub(1, std::memory_order_relaxed);
   }
 }
 

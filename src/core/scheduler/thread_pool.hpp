@@ -14,6 +14,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <functional>
 #include <memory>
@@ -48,8 +49,13 @@ class ThreadPool {
 
   /// Start `num_workers` threads.  `progress` (may be empty) is invoked by
   /// idle workers and by try_run_one when no task is available.
-  explicit ThreadPool(std::size_t num_workers, ProgressHook progress = {},
-                      SchedulerObs obs = {});
+  /// `park_timeout` bounds how long an idle worker sleeps between progress
+  /// polls; wakes for new work are notification-driven and do not wait for
+  /// the timeout.
+  explicit ThreadPool(
+      std::size_t num_workers, ProgressHook progress = {},
+      SchedulerObs obs = {},
+      std::chrono::microseconds park_timeout = std::chrono::microseconds(200));
 
   ~ThreadPool();
 
@@ -72,6 +78,14 @@ class ThreadPool {
   /// Number of tasks submitted but not yet finished executing.
   [[nodiscard]] std::size_t pending() const {
     return pending_.load(std::memory_order_acquire);
+  }
+
+  /// Number of tasks queued (in a deque or the injection queue) but not yet
+  /// claimed by any thread.  This is the park predicate: a worker never
+  /// sleeps while it is non-zero, which closes the lost-wakeup window
+  /// between a failed task search and the condition-variable wait.
+  [[nodiscard]] std::size_t unclaimed() const {
+    return unclaimed_.load(std::memory_order_acquire);
   }
 
   [[nodiscard]] std::size_t num_workers() const { return workers_.size(); }
@@ -97,7 +111,14 @@ class ThreadPool {
   std::vector<std::unique_ptr<Worker>> workers_;
   MpmcQueue<Task*> injection_;
   ProgressHook progress_;
+  std::chrono::microseconds park_timeout_;
   std::atomic<std::size_t> pending_{0};
+  // Queued-but-unclaimed task count.  Incremented *before* a task becomes
+  // visible in any queue, decremented by the claimant after a successful
+  // find_task(), so it never underflows and a non-zero value is guaranteed
+  // visible to a parking worker (the producer's notify path and the wait
+  // predicate are both under sleep_mu_).
+  std::atomic<std::size_t> unclaimed_{0};
   std::atomic<bool> stopping_{false};
 
   // Scheduler metrics ("sched.*"): always-valid handles (inert when no

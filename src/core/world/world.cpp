@@ -1,6 +1,7 @@
 #include "core/world/world.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <thread>
 
@@ -81,18 +82,22 @@ std::size_t OneSidedRegistry::live() const {
 World::World(WorldGroup& group, pe_id pe)
     : group_(group), lamellae_(group.lamellae_group().endpoint(pe)) {
   // The pool's idle hook needs the engine, which needs the pool: break the
-  // cycle with a deferred indirection.
-  auto engine_slot = std::make_shared<AmEngine*>(nullptr);
+  // cycle with a deferred indirection.  The slot is atomic because workers
+  // start polling it before the engine exists; the release store below
+  // publishes the fully constructed engine to their acquire loads.
+  auto engine_slot = std::make_shared<std::atomic<AmEngine*>>(nullptr);
   pool_ = std::make_unique<ThreadPool>(
       group.config().threads_per_pe,
       [engine_slot] {
-        if (*engine_slot != nullptr) (*engine_slot)->progress();
+        if (AmEngine* eng = engine_slot->load(std::memory_order_acquire)) {
+          eng->progress();
+        }
       },
       SchedulerObs{&lamellae_->metrics(), &group.tracer(), &lamellae_->clock(),
                    pe});
   engine_ = std::make_unique<AmEngine>(*lamellae_, *pool_, group.config(),
                                        &group.tracer());
-  *engine_slot = engine_.get();
+  engine_slot->store(engine_.get(), std::memory_order_release);
   engine_->bind_world(this);
   darcs_ = std::make_unique<DarcManager>(*engine_);
   onesided_ = std::make_unique<OneSidedRegistry>(*engine_);

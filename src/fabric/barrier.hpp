@@ -1,6 +1,25 @@
 // Sense-reversing barrier for SPMD participant threads, with virtual-time
 // synchronization: on release, every participant's clock is raised to the
 // maximum arrival time plus the modeled barrier cost.
+//
+// Concurrency invariants (audited under TSan with mixed clocked/clock-less
+// participants; see tests/test_concurrency_regressions.cpp):
+//  * Every field (arrived_, generation_, max_arrival_, release_time_) is
+//    guarded by mu_; participants publish state to each other exclusively
+//    through the mutex, so there are no data races by construction and no
+//    ordering is delegated to atomics.
+//  * generation_ is the wait predicate.  A round-g waiter that woke still
+//    holds the lock when it reads release_time_, and release_time_ cannot
+//    be overwritten by round g+1 before then: round g+1 releases only after
+//    *all* participants arrive again, which includes every round-g waiter —
+//    each of which reads release_time_ (and returns) before it can re-enter
+//    arrive_and_wait.  The releaser likewise reads release_time_ under the
+//    same critical section in which it wrote it.
+//  * Mixed clocked/clock-less participants: max_arrival_ aggregates only
+//    clocked arrivals, so an all-clock-less round releases at cost_ns alone
+//    and clock-less participants never contribute a phantom arrival time.
+//    max_arrival_ is reset by the releaser before anyone can arrive for the
+//    next round (the releaser still holds mu_ when it resets).
 #pragma once
 
 #include <condition_variable>
@@ -22,8 +41,12 @@ class SenseBarrier {
   void arrive_and_wait(VirtualClock* clock = nullptr, double cost_ns = 0.0) {
     std::unique_lock lock(mu_);
     const std::size_t gen = generation_;
-    if (clock != nullptr && clock->now() > max_arrival_) {
-      max_arrival_ = clock->now();
+    if (clock != nullptr) {
+      // Single read: the clock may advance concurrently (other threads of
+      // this PE charge it); a second read could record a later arrival
+      // than the one compared against.
+      const sim_nanos arrival = clock->now();
+      if (arrival > max_arrival_) max_arrival_ = arrival;
     }
     if (++arrived_ == participants_) {
       arrived_ = 0;

@@ -76,4 +76,49 @@ std::size_t OffsetHeap::live_allocations() const {
   return live_.size();
 }
 
+std::size_t OffsetHeap::debug_validate() const {
+  std::lock_guard lock(mu_);
+  std::size_t free_total = 0;
+  std::size_t prev_end = 0;
+  bool first = true;
+  for (const auto& [start, len] : free_) {
+    if (len == 0) throw Error("OffsetHeap: zero-length free block");
+    if (start < base_ || start + len > base_ + size_ || start + len < start) {
+      throw Error("OffsetHeap: free block out of range");
+    }
+    if (!first && start <= prev_end) {
+      throw Error(start < prev_end
+                      ? "OffsetHeap: overlapping free blocks"
+                      : "OffsetHeap: adjacent free blocks not coalesced");
+    }
+    prev_end = start + len;
+    first = false;
+    free_total += len;
+  }
+  std::size_t live_total = 0;
+  for (const auto& [offset, blk] : live_) {
+    if (blk.start < base_ || blk.start + blk.len > base_ + size_) {
+      throw Error("OffsetHeap: live block out of range");
+    }
+    if (offset < blk.start || offset >= blk.start + blk.len) {
+      throw Error("OffsetHeap: live offset outside its block");
+    }
+    auto overlap = free_.lower_bound(blk.start + blk.len);
+    if (overlap != free_.begin()) {
+      --overlap;
+      if (overlap->first + overlap->second > blk.start) {
+        throw Error("OffsetHeap: live block overlaps a free block");
+      }
+    }
+    live_total += blk.len;
+  }
+  if (live_total != used_) {
+    throw Error("OffsetHeap: live block sum disagrees with bytes_used");
+  }
+  if (free_total + used_ != size_) {
+    throw Error("OffsetHeap: bytes_used + bytes_free != size");
+  }
+  return free_.size();
+}
+
 }  // namespace lamellar

@@ -35,6 +35,14 @@ class OffsetHeap {
   [[nodiscard]] std::size_t size() const { return size_; }
   [[nodiscard]] std::size_t live_allocations() const;
 
+  /// Check every structural invariant under the lock and return the number
+  /// of free blocks.  Throws Error on violation.  Invariants: free blocks
+  /// are sorted, in-range, disjoint and fully coalesced (no two adjacent);
+  /// live blocks are in-range and disjoint from every free block; and
+  /// bytes_used + bytes_free == size.  Safe to call concurrently with
+  /// alloc/free — used by the stress harness at quiesce points.
+  std::size_t debug_validate() const;
+
  private:
   struct Block {
     std::size_t start;  ///< block start including alignment padding

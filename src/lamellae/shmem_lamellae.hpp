@@ -42,6 +42,13 @@ class ShmemLamellaeGroup {
   ShmemFabric& fabric() { return fabric_; }
   [[nodiscard]] const Layout& layout() const { return layout_; }
 
+  /// Introspection for tests and the stress harness: the per-PE one-sided
+  /// heap (invariant checks at quiesce points) and the shared symmetric
+  /// heap.  The heaps are internally locked; callers get no allocation
+  /// authority they did not already have via alloc/free.
+  OffsetHeap& onesided_heap(pe_id pe) { return *onesided_heaps_[pe]; }
+  OffsetHeap& symmetric_heap() { return symmetric_heap_; }
+
  private:
   friend class ShmemLamellae;
 
@@ -127,6 +134,9 @@ class ShmemLamellae final : public Lamellae {
   [[nodiscard]] bool inbox_empty() const override {
     return group_.fabric_.inbox_empty(pe_);
   }
+
+  /// This PE's one-sided heap (tests / stress-harness invariant checks).
+  OffsetHeap& onesided_heap() { return group_.onesided_heap(pe_); }
 
   void barrier() override { group_.fabric_.barrier(pe_); }
   VirtualClock& clock() override { return group_.fabric_.clock(pe_); }

@@ -1,0 +1,465 @@
+// Deterministic multi-PE soak harness (ISSUE 3 tentpole).
+//
+// Hammers every concurrent subsystem of the runtime at once — the
+// work-stealing scheduler (spawn / steal / block_on helping), the zero-copy
+// AM hot path (in-place commit vs. flush vs. large-record bypass, buffer
+// pool recycling), the cmd-queue swap/recycle machinery, the Darc lifetime
+// protocol (construction / transfer / revive / drop), fabric RDMA + atomics,
+// and the one-sided symmetric-heap allocator — from many threads per PE
+// simultaneously, then checks runtime invariants at every quiesce point.
+//
+// The op *stream* is deterministic: every PE's schedule for round R is drawn
+// from pe_rng(seed, pe * kRoundSalt + R), so a failing (seed, pes, rounds)
+// triple replays the same work. Thread interleavings of course still vary —
+// that is the point; run under TSan/ASan to turn interleaving bugs into
+// reports (see .github/workflows/ci.yml "sanitizers" job and DESIGN.md §8).
+//
+// Usage:
+//   stress_soak [--seed S] [--pes N] [--threads T] [--rounds R]
+//               [--ms M] [--ops K]
+//
+//   --rounds R   maximum rounds (0 = until the time budget is spent)
+//   --ms M       wall-clock budget in milliseconds (0 = rounds only)
+//   --ops K      ops per PE per round
+//
+// Exit status 0 iff every invariant held and every checksum matched.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "lamellar.hpp"
+
+namespace {
+
+using namespace lamellar;
+
+std::atomic<std::uint64_t> g_failures{0};
+
+void fail(const char* what, std::uint64_t got, std::uint64_t want, pe_id pe,
+          std::size_t round) {
+  g_failures.fetch_add(1);
+  std::fprintf(stderr,
+               "[stress_soak] FAIL pe=%zu round=%zu %s: got %llu want %llu\n",
+               pe, round, what, static_cast<unsigned long long>(got),
+               static_cast<unsigned long long>(want));
+}
+
+#define SOAK_CHECK(cond, what, got, want, pe, round) \
+  do {                                               \
+    if (!(cond)) fail(what, got, want, pe, round);   \
+  } while (0)
+
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t fnv1a(const std::vector<std::uint64_t>& v) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::uint64_t w : v) {
+    h ^= w;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+// ---- active messages -------------------------------------------------------
+
+struct PingAm {
+  std::uint64_t x = 0;
+  template <class Ar>
+  void serialize(Ar& ar) {
+    ar(x);
+  }
+  std::uint64_t exec(AmContext&) { return mix64(x); }
+};
+
+struct PayloadAm {
+  std::vector<std::uint64_t> data;
+  template <class Ar>
+  void serialize(Ar& ar) {
+    ar(data);
+  }
+  std::uint64_t exec(AmContext&) { return fnv1a(data); }
+};
+
+// Per-round Darc payload: an atomic hit counter per PE instance.
+struct ShardState {
+  std::atomic<std::uint64_t> hits{0};
+  ShardState() = default;
+  ShardState(ShardState&& o) noexcept : hits(o.hits.load()) {}
+};
+
+struct DarcTouchAm {
+  Darc<ShardState> shard;
+  std::uint64_t tag = 0;
+  template <class Ar>
+  void serialize(Ar& ar) {
+    ar(shard);
+    ar(tag);
+  }
+  std::uint64_t exec(AmContext&) {
+    shard->hits.fetch_add(1, std::memory_order_relaxed);
+    return mix64(tag);
+  }
+};
+
+}  // namespace
+
+LAMELLAR_REGISTER_AM(PingAm);
+LAMELLAR_REGISTER_AM(PayloadAm);
+LAMELLAR_REGISTER_AM(DarcTouchAm);
+
+namespace {
+
+struct Options {
+  std::uint64_t seed = 42;
+  std::size_t pes = 4;
+  std::size_t threads = 3;
+  std::size_t rounds = 0;    // 0 = until --ms budget spent
+  std::size_t ms = 0;        // 0 = --rounds only
+  std::size_t ops = 400;     // ops per PE per round
+};
+
+Options parse_args(int argc, char** argv) {
+  Options o;
+  auto num = [&](int& i) -> std::uint64_t {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for %s\n", argv[i]);
+      std::exit(2);
+    }
+    return std::strtoull(argv[++i], nullptr, 10);
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--seed") o.seed = num(i);
+    else if (a == "--pes") o.pes = num(i);
+    else if (a == "--threads") o.threads = num(i);
+    else if (a == "--rounds") o.rounds = num(i);
+    else if (a == "--ms") o.ms = num(i);
+    else if (a == "--ops") o.ops = num(i);
+    else {
+      std::fprintf(stderr, "unknown flag %s\n", a.c_str());
+      std::exit(2);
+    }
+  }
+  if (o.rounds == 0 && o.ms == 0) o.rounds = 2;
+  return o;
+}
+
+// Round-end allocation registry: tasks record one-sided allocations here;
+// whatever they did not free themselves is released by the main thread at
+// the quiesce point.
+struct RoundAllocs {
+  std::mutex mu;
+  std::vector<std::size_t> offs;
+  std::size_t oom_hits = 0;
+
+  void push(std::size_t off) {
+    std::lock_guard lock(mu);
+    offs.push_back(off);
+  }
+  // Pop one allocation to free, if any (stresses the concurrent free path).
+  bool pop(std::size_t& off) {
+    std::lock_guard lock(mu);
+    if (offs.empty()) return false;
+    off = offs.back();
+    offs.pop_back();
+    return true;
+  }
+};
+
+constexpr std::uint64_t kRoundSalt = 0x100000001ULL;
+
+// One deterministic soak round on one PE. `atoms_off` is a region of
+// npes u64 words in every PE's arena (fabric atomics only); `scratch_off`
+// is a region of npes 64-byte columns (PE p only ever puts/gets column p,
+// so plain-memcpy RDMA never overlaps between writers).
+// Returns the number of fabric-atomic increments this PE performed.
+std::uint64_t soak_round(World& world, std::size_t round, const Options& opt,
+                         std::size_t atoms_off, std::size_t scratch_off) {
+  const pe_id me = world.my_pe();
+  const std::size_t npes = world.num_pes();
+  auto rng = pe_rng(opt.seed, me * kRoundSalt + round);
+
+  world.barrier();
+  std::uint64_t atomic_adds = 0;
+  {
+    // Collective per-round Darc; dropped (and therefore globally destroyed)
+    // before this round's quiesce check.
+    auto shard = world.new_darc(ShardState{});
+    RoundAllocs allocs;
+
+    std::vector<std::pair<Future<std::uint64_t>, std::uint64_t>> checked;
+    checked.reserve(64);
+    auto drain_checked = [&] {
+      for (auto& [fut, want] : checked) {
+        const std::uint64_t got = world.block_on(std::move(fut));
+        SOAK_CHECK(got == want, "am checksum", got, want, me, round);
+      }
+      checked.clear();
+    };
+
+    for (std::size_t op = 0; op < opt.ops; ++op) {
+      const std::uint64_t r = rng.next();
+      const pe_id dst = static_cast<pe_id>(rng.next() % npes);
+      switch (r % 10) {
+        case 0: {  // small checked ping (in-place aggregated record)
+          const std::uint64_t x = rng.next();
+          checked.emplace_back(world.exec_am_pe(dst, PingAm{x}), mix64(x));
+          break;
+        }
+        case 1: {  // medium payload, checked (fills lanes -> flush path)
+          std::vector<std::uint64_t> data(64 + rng.next() % 192);
+          for (auto& w : data) w = rng.next();
+          const std::uint64_t want = fnv1a(data);
+          checked.emplace_back(
+              world.exec_am_pe(dst, PayloadAm{std::move(data)}), want);
+          break;
+        }
+        case 2: {  // large payload >= agg threshold (bypass path), checked
+          std::vector<std::uint64_t> data(600 + rng.next() % 512);
+          for (auto& w : data) w = rng.next();
+          const std::uint64_t want = fnv1a(data);
+          checked.emplace_back(
+              world.exec_am_pe(dst, PayloadAm{std::move(data)}), want);
+          break;
+        }
+        case 3: {  // Darc transfer, fire-and-forget (revive path when the
+                   // receiver already dropped its handle)
+          world.exec_am_pe(dst, DarcTouchAm{shard, rng.next()});
+          break;
+        }
+        case 4: case 5: {  // task tree: scheduler spawn/steal + fabric
+                           // atomics + one-sided alloc/free from workers
+          const std::uint64_t leaf_seed = rng.next();
+          atomic_adds += 3;  // the three leaves below each add exactly once
+          world.pool().spawn([&world, &allocs, leaf_seed, atoms_off,
+                              npes]() {
+            auto lrng = Xoshiro256(leaf_seed);
+            for (int leaf = 0; leaf < 3; ++leaf) {
+              const pe_id apre = static_cast<pe_id>(lrng.next() % npes);
+              const std::size_t word = lrng.next() % npes;
+              world.lamellae().atomic_fetch_add_u64(
+                  apre, atoms_off + 8 * word, 1);
+              const std::uint64_t kind = lrng.next() % 3;
+              if (kind == 0) {
+                try {
+                  const std::size_t bytes = 8 + lrng.next() % 2048;
+                  const std::size_t align = std::size_t{1}
+                                            << (3 + lrng.next() % 5);
+                  allocs.push(world.lamellae().alloc_onesided(bytes, align));
+                } catch (const OutOfMemoryError&) {
+                  std::lock_guard lock(allocs.mu);
+                  ++allocs.oom_hits;
+                }
+              } else if (kind == 1) {
+                std::size_t off = 0;
+                if (allocs.pop(off)) world.lamellae().free_onesided(off);
+              }
+            }
+          });
+          break;
+        }
+        case 6: {  // nested block_on from a worker task (helping path)
+          const std::uint64_t x = rng.next();
+          const pe_id tgt = dst;
+          world.pool().spawn([&world, x, tgt]() {
+            const std::uint64_t got =
+                world.block_on(world.exec_am_pe(tgt, PingAm{x}));
+            if (got != mix64(x)) {
+              fail("nested block_on checksum", got, mix64(x), world.my_pe(),
+                   0);
+            }
+          });
+          break;
+        }
+        case 7: {  // RDMA put + get readback on this PE's private column
+          std::uint64_t vals[8];
+          for (auto& v : vals) v = rng.next();
+          const std::size_t col = scratch_off + 64 * me;
+          world.lamellae().put(
+              dst, col,
+              std::as_bytes(std::span<const std::uint64_t>(vals)));
+          std::uint64_t back[8] = {};
+          world.lamellae().get(
+              dst, col, std::as_writable_bytes(std::span<std::uint64_t>(back)));
+          SOAK_CHECK(std::memcmp(vals, back, sizeof vals) == 0,
+                     "rdma readback", back[0], vals[0], me, round);
+          break;
+        }
+        case 8: {  // self-send exercises the local no-serialize fast path
+          const std::uint64_t x = rng.next();
+          checked.emplace_back(world.exec_am_pe(me, PingAm{x}), mix64(x));
+          break;
+        }
+        default: {  // periodic settle: bound outstanding work mid-round
+          if (checked.size() > 32) drain_checked();
+          if (r % 50 == 9) world.wait_all();
+          break;
+        }
+      }
+    }
+
+    drain_checked();
+    world.wait_all();
+    // Drain plain pool tasks (wait_all only tracks AMs).
+    while (world.pool().pending() > 0) std::this_thread::yield();
+
+    std::size_t off = 0;
+    while (allocs.pop(off)) world.lamellae().free_onesided(off);
+    // `shard` handle drops here -> the Darc protocol must destroy every
+    // instance before quiescence below.
+  }
+  return atomic_adds;
+}
+
+void check_quiesced_invariants(World& world, std::size_t round,
+                               std::size_t heap_used_baseline,
+                               std::size_t heap_free_blocks_baseline) {
+  const pe_id me = world.my_pe();
+  auto& eng = world.engine();
+  SOAK_CHECK(eng.outstanding() == 0, "engine outstanding", eng.outstanding(),
+             0, me, round);
+  SOAK_CHECK(world.pool().pending() == 0, "pool pending",
+             world.pool().pending(), 0, me, round);
+  SOAK_CHECK(world.pool().unclaimed() == 0, "pool unclaimed",
+             world.pool().unclaimed(), 0, me, round);
+  SOAK_CHECK(world.darc_manager().live_entries() == 0, "darc live entries",
+             world.darc_manager().live_entries(), 0, me, round);
+
+  // Zero-copy budget: every serialized byte crossed exactly one copy.
+  const std::uint64_t copied = world.metrics().counter("am.bytes_copied").get();
+  const std::uint64_t serialized =
+      world.metrics().counter("am.bytes_serialized").get();
+  SOAK_CHECK(copied == serialized, "copy budget", copied, serialized, me,
+             round);
+
+  // Pool accounting: recycling never exceeds the retention bound.
+  auto& pool = world.engine().outgoing().pool();
+  SOAK_CHECK(pool.size() <= pool.max_buffers(), "buffer pool bound",
+             pool.size(), pool.max_buffers(), me, round);
+
+  // One-sided heap: structurally valid and fully reclaimed each round.
+  auto* shmem = dynamic_cast<ShmemLamellae*>(&world.lamellae());
+  if (shmem != nullptr) {
+    try {
+      const std::size_t blocks = shmem->onesided_heap().debug_validate();
+      SOAK_CHECK(blocks == heap_free_blocks_baseline, "heap coalesced",
+                 blocks, heap_free_blocks_baseline, me, round);
+    } catch (const Error& e) {
+      fail(e.what(), 1, 0, me, round);
+    }
+    SOAK_CHECK(shmem->onesided_heap().bytes_used() == heap_used_baseline,
+               "heap bytes_used restored", shmem->onesided_heap().bytes_used(),
+               heap_used_baseline, me, round);
+  }
+}
+
+void soak_main(World& world, const Options& opt) {
+  const pe_id me = world.my_pe();
+  const std::size_t npes = world.num_pes();
+
+  // Symmetric setup (collective): fabric-atomic words, RDMA scratch
+  // columns, per-PE contribution slots, and the PE0-owned continue flag.
+  const std::size_t atoms_off = world.lamellae().alloc_symmetric(8 * npes, 8);
+  const std::size_t scratch_off =
+      world.lamellae().alloc_symmetric(64 * npes, 64);
+  const std::size_t contrib_off =
+      world.lamellae().alloc_symmetric(8 * npes, 8);
+  const std::size_t flag_off = world.lamellae().alloc_symmetric(8, 8);
+
+  std::size_t heap_used_baseline = 0;
+  std::size_t heap_blocks_baseline = 0;
+  if (auto* shmem = dynamic_cast<ShmemLamellae*>(&world.lamellae())) {
+    heap_used_baseline = shmem->onesided_heap().bytes_used();
+    heap_blocks_baseline = shmem->onesided_heap().debug_validate();
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::uint64_t my_total_adds = 0;
+  std::size_t round = 0;
+  for (;;) {
+    my_total_adds += soak_round(world, round, opt, atoms_off, scratch_off);
+    ++round;
+
+    // Global quiescence, then invariant checks on every PE.
+    while (!world.group().quiesce_round(me)) {
+    }
+    check_quiesced_invariants(world, round, heap_used_baseline,
+                              heap_blocks_baseline);
+
+    // Fabric-atomic conservation: the sum of all counter words across all
+    // PEs must equal the sum of every PE's announced increments.
+    world.lamellae().atomic_store_u64(0, contrib_off + 8 * me, my_total_adds);
+    world.barrier();
+    if (me == 0) {
+      std::uint64_t announced = 0;
+      for (pe_id p = 0; p < npes; ++p) {
+        announced += world.lamellae().atomic_load_u64(0, contrib_off + 8 * p);
+      }
+      std::uint64_t observed = 0;
+      for (pe_id p = 0; p < npes; ++p) {
+        for (std::size_t w = 0; w < npes; ++w) {
+          observed += world.lamellae().atomic_load_u64(p, atoms_off + 8 * w);
+        }
+      }
+      SOAK_CHECK(observed == announced, "atomic conservation", observed,
+                 announced, me, round);
+
+      const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - t0);
+      const bool time_left =
+          opt.ms != 0 && elapsed.count() < static_cast<long long>(opt.ms);
+      const bool rounds_left = opt.rounds == 0 || round < opt.rounds;
+      const bool go = g_failures.load() == 0 &&
+                      (opt.ms != 0 ? (time_left && rounds_left) : rounds_left);
+      world.lamellae().atomic_store_u64(0, flag_off, go ? 1 : 0);
+    }
+    world.barrier();
+    if (world.lamellae().atomic_load_u64(0, flag_off) == 0) break;
+  }
+
+  world.barrier();
+  if (me == 0) {
+    std::fprintf(stderr, "[stress_soak] %zu round(s), %zu PE(s), seed %llu\n",
+                 round, npes, static_cast<unsigned long long>(opt.seed));
+  }
+  world.lamellae().free_symmetric(flag_off);
+  world.lamellae().free_symmetric(contrib_off);
+  world.lamellae().free_symmetric(scratch_off);
+  world.lamellae().free_symmetric(atoms_off);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse_args(argc, argv);
+  RuntimeConfig cfg;  // defaults, NOT from_env: the harness is reproducible
+  cfg.seed = opt.seed;
+  cfg.threads_per_pe = opt.threads;
+  // Small aggregation threshold so every hot-path branch fires: in-place
+  // commits, threshold flushes + buffer swaps, and large-record bypass.
+  cfg.agg_threshold_bytes = 4096;
+  cfg.metrics_mode = MetricsMode::kQuiet;  // copy-budget check needs counters
+
+  run_world(opt.pes, [&](World& world) { soak_main(world, opt); }, cfg);
+
+  const auto fails = g_failures.load();
+  if (fails != 0) {
+    std::fprintf(stderr, "[stress_soak] %llu failure(s)\n",
+                 static_cast<unsigned long long>(fails));
+    return 1;
+  }
+  std::fprintf(stderr, "[stress_soak] OK\n");
+  return 0;
+}

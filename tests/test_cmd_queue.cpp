@@ -5,6 +5,7 @@
 // byte copy per serialized byte).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstring>
 #include <map>
@@ -377,17 +378,18 @@ TEST(CmdQueueWorld, SteadyStateZeroBufferAllocsAndOneCopy) {
 
         // Steady state recycles instead of allocating.  Thread-timing races
         // (a prime landing just before the dispatcher's recycle) may grow
-        // the circulating stock by a constant, so assert the structural
-        // property: buffer allocations do not scale with traffic — under 1%
-        // of the buffers moved in the measured window, while every drained
-        // buffer goes back to the pool.
+        // the circulating stock by a constant — more often under sanitizer
+        // slowdowns — so assert the structural property: allocations do not
+        // scale with traffic.  Allow the greater of 1% of buffers moved or
+        // a small constant (stock growth is capped by pool retention, so it
+        // is O(1) regardless of round count).
         const std::uint64_t new_allocs =
             done.counter("cmdq.buffers_allocated") -
             warm.counter("cmdq.buffers_allocated");
         const std::uint64_t moved = done.counter("cmdq.buffers_sent") -
                                     warm.counter("cmdq.buffers_sent");
         EXPECT_GT(moved, 100u);
-        EXPECT_LE(new_allocs * 100, moved);
+        EXPECT_LE(new_allocs, std::max<std::uint64_t>(moved / 100, 16));
         EXPECT_GT(done.counter("cmdq.buffers_recycled"),
                   warm.counter("cmdq.buffers_recycled"));
 
