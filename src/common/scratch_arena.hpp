@@ -1,0 +1,147 @@
+// Per-thread bump arena for transient planning/staging buffers
+// (batched-op memory discipline, DESIGN.md §9).
+//
+// The batched array-op pipeline plans chunks, stages strided operand
+// slices, and collects owner-side fetch results in memory that lives only
+// for the duration of one dispatch (or one AM execution).  Backing those
+// with std::vector costs a heap round-trip per call; the arena instead
+// retains its high-water allocation per thread, so after warm-up a
+// steady-state loop performs zero heap allocations — `grow_events()` counts
+// the block allocations that did happen and feeds the `array.plan_allocs`
+// counter that proves the claim.
+//
+// Usage is strictly scoped: open an ArenaFrame, allocate freely, and let
+// the frame's destructor rewind the arena.  Frames nest (an AM executed
+// while a dispatch is mid-flight allocates above the dispatch's watermark),
+// and blocks above the current position never hold live data, so advancing
+// into a previously grown block is always safe.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace lamellar {
+
+class ScratchArena {
+ public:
+  static constexpr std::size_t kInitialBlockBytes = 64 * 1024;
+
+  ScratchArena() = default;
+  ScratchArena(const ScratchArena&) = delete;
+  ScratchArena& operator=(const ScratchArena&) = delete;
+
+  /// Raw allocation, aligned to `align` (a power of two).  The bytes are
+  /// uninitialized and valid until the enclosing frame rewinds past them.
+  void* alloc_bytes(std::size_t n, std::size_t align) {
+    if (blocks_.empty()) grow(n + align);
+    for (;;) {
+      Block& b = blocks_[cur_];
+      const std::size_t base =
+          reinterpret_cast<std::size_t>(b.data.get()) + b.used;
+      const std::size_t pad = (align - (base & (align - 1))) & (align - 1);
+      if (b.used + pad + n <= b.cap) {
+        void* p = b.data.get() + b.used + pad;
+        b.used += pad + n;
+        return p;
+      }
+      if (cur_ + 1 < blocks_.size()) {
+        // Blocks above the bump position never hold live data (frames only
+        // ever rewind below it), so re-entering one is a plain reset.
+        ++cur_;
+        blocks_[cur_].used = 0;
+        continue;
+      }
+      grow(n + align);
+      ++cur_;
+      blocks_[cur_].used = 0;
+    }
+  }
+
+  /// Typed span of `n` default-uninitialized elements.
+  template <typename T>
+  std::span<T> alloc_span(std::size_t n) {
+    static_assert(std::is_trivially_copyable_v<T> &&
+                  std::is_trivially_destructible_v<T>);
+    if (n == 0) return {};
+    return {static_cast<T*>(alloc_bytes(n * sizeof(T), alignof(T))), n};
+  }
+
+  struct Mark {
+    std::size_t block = 0;
+    std::size_t offset = 0;
+  };
+
+  [[nodiscard]] Mark mark() const {
+    if (blocks_.empty()) return {};
+    return {cur_, blocks_[cur_].used};
+  }
+
+  void rewind(Mark m) {
+    if (blocks_.empty()) return;
+    cur_ = m.block;
+    blocks_[cur_].used = m.offset;
+  }
+
+  /// Number of heap block allocations performed so far (monotone).  A flat
+  /// value across a loop proves the loop ran allocation-free.
+  [[nodiscard]] std::uint64_t grow_events() const { return grow_events_; }
+
+  [[nodiscard]] std::size_t capacity_bytes() const {
+    std::size_t total = 0;
+    for (const Block& b : blocks_) total += b.cap;
+    return total;
+  }
+
+  /// The calling thread's arena.  Shared by every runtime component on the
+  /// thread; safe because all use is frame-scoped and frames nest.
+  static ScratchArena& local() {
+    static thread_local ScratchArena arena;
+    return arena;
+  }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t cap = 0;
+    std::size_t used = 0;
+  };
+
+  void grow(std::size_t need) {
+    std::size_t cap = blocks_.empty() ? kInitialBlockBytes
+                                      : blocks_.back().cap * 2;
+    if (cap < need) cap = need;
+    Block b;
+    b.data = std::make_unique<std::byte[]>(cap);
+    b.cap = cap;
+    blocks_.push_back(std::move(b));
+    ++grow_events_;
+    if (blocks_.size() == 1) cur_ = 0;
+  }
+
+  std::vector<Block> blocks_;
+  std::size_t cur_ = 0;
+  std::uint64_t grow_events_ = 0;
+};
+
+/// RAII frame: everything allocated after construction is reclaimed (made
+/// reusable, not freed) on destruction.
+class ArenaFrame {
+ public:
+  explicit ArenaFrame(ScratchArena& arena = ScratchArena::local())
+      : arena_(arena), mark_(arena.mark()) {}
+  ~ArenaFrame() { arena_.rewind(mark_); }
+  ArenaFrame(const ArenaFrame&) = delete;
+  ArenaFrame& operator=(const ArenaFrame&) = delete;
+
+  [[nodiscard]] ScratchArena& arena() { return arena_; }
+
+ private:
+  ScratchArena& arena_;
+  ScratchArena::Mark mark_;
+};
+
+}  // namespace lamellar

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "common/scratch_arena.hpp"
 
 namespace lamellar {
 
@@ -107,9 +108,49 @@ class Serializer {
     }
   }
 
+  /// Span-of-elements wire form: u64 count, u8 pad length, pad zeros, then
+  /// the raw element bytes.  The pad places the first element at an
+  /// alignof(T)-aligned offset within the buffer, so a reader over a
+  /// 16-aligned buffer base can borrow the bytes as a `span<const T>`
+  /// without copying (see Deserializer::get_elems).
+  template <typename T>
+  void put_elems(std::span<const T> elems) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    put_len(elems.size());
+    put_align_pad<T>();
+    buf_.write(elems.data(), elems.size() * sizeof(T));
+  }
+
+  /// Same wire form as put_elems, but elements are produced one at a time by
+  /// `fn(j)` — used to write strided/gathered operand slices straight into
+  /// the transport buffer without staging a contiguous copy first.
+  template <typename T, typename Fn>
+  void put_elems_gather(std::size_t n, Fn&& fn) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    put_len(n);
+    put_align_pad<T>();
+    for (std::size_t j = 0; j < n; ++j) {
+      const T v = fn(j);
+      buf_.write_pod(v);
+    }
+  }
+
   ByteBuffer& buffer() { return buf_; }
 
  private:
+  template <typename T>
+  void put_align_pad() {
+    constexpr std::size_t a = alignof(T);
+    static_assert(a <= 16, "put_elems: element alignment exceeds the "
+                           "buffer base alignment guarantee");
+    // First data byte lands at buf_.size() + 1 (after the pad-length byte).
+    const std::size_t off = buf_.size() + 1;
+    const auto pad = static_cast<std::uint8_t>((a - (off % a)) % a);
+    buf_.write_pod(pad);
+    static constexpr std::byte kZeros[16]{};
+    buf_.write(kZeros, pad);
+  }
+
   void put_len(std::size_t n) { buf_.write_pod(static_cast<std::uint64_t>(n)); }
   ByteBuffer& buf_;
 };
@@ -180,6 +221,37 @@ class Deserializer {
     T v{};
     get(v);
     return v;
+  }
+
+  /// Borrow a span of elements written by Serializer::put_elems /
+  /// put_elems_gather.  The returned span aliases the input buffer (which
+  /// must outlive it — the AM layer holds the inbox buffer across deferred
+  /// execution for exactly this reason).  If the buffer base is not aligned
+  /// (possible for views not rooted at a heap vector base), the elements are
+  /// copied into the calling thread's ScratchArena instead; the copy lives
+  /// until the enclosing ArenaFrame rewinds.
+  template <typename T>
+  std::span<const T> get_elems() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::size_t n = get_len();
+    const auto pad = read_pod<std::uint8_t>();
+    if (pos_ + pad > data_.size()) {
+      throw DeserializeError("Deserializer: pad past end of input");
+    }
+    pos_ += pad;
+    if (n == 0) return {};
+    const std::size_t bytes = n * sizeof(T);
+    if (pos_ + bytes > data_.size()) {
+      throw DeserializeError("Deserializer: elems past end of input");
+    }
+    const std::byte* p = data_.data() + pos_;
+    pos_ += bytes;
+    if (reinterpret_cast<std::uintptr_t>(p) % alignof(T) != 0) {
+      auto staged = ScratchArena::local().alloc_span<T>(n);
+      std::memcpy(staged.data(), p, bytes);
+      return staged;
+    }
+    return {reinterpret_cast<const T*>(p), n};
   }
 
   /// Copy `n` raw bytes at the cursor into `dst`, advancing the cursor.

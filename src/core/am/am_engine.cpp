@@ -91,7 +91,10 @@ void AmEngine::dispatch_buffer(ByteBuffer buffer, pe_id src) {
       replies_received_->inc();
       Completer completer = take_completer(env.req_id);
       // Deserialize the return value straight from the inbox buffer; the
-      // borrowed view only needs to outlive this synchronous call.
+      // borrowed view only needs to outlive this synchronous call.  Span
+      // replies may stage a misaligned-fallback copy in the arena; the
+      // frame reclaims it once the completer has scattered the results.
+      ArenaFrame frame;
       Deserializer de(payload);
       completer(de);
       continue;
@@ -99,10 +102,19 @@ void AmEngine::dispatch_buffer(ByteBuffer buffer, pe_id src) {
     AmRegistry::instance().handler(env.type)(*this, src, env.req_id, env.flags,
                                              payload, batch);
   }
-  // Every payload view has been consumed: hand the drained buffer to the
-  // pool so a later send reuses its storage, then inject every AM task of
-  // this aggregated buffer at once (one pending update, one wake).
-  outgoing_.recycle(std::move(buffer));
+  if (batch.hold) {
+    // Some deferred task borrows payload views: park the buffer in the
+    // hold (vector move — the storage the spans point at stays put) and
+    // let the last task's release recycle it.
+    batch.hold->buffer = std::move(buffer);
+    batch.hold->recycler = &outgoing_;
+    batch.hold.reset();
+  } else {
+    // Every payload view has been consumed: hand the drained buffer to the
+    // pool so a later send reuses its storage, then inject every AM task of
+    // this aggregated buffer at once (one pending update, one wake).
+    outgoing_.recycle(std::move(buffer));
+  }
   pool_.spawn_batch(std::move(batch.tasks));
   span.finish(lamellae_.clock().now(), records);
 }

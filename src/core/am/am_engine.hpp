@@ -61,6 +61,15 @@ concept ActiveMessageType =
     Serializable<T> && std::is_default_constructible_v<T> &&
     requires(T t, AmContext& ctx) { t.exec(ctx); };
 
+/// Marker: AM types declaring `static constexpr bool kBorrowsPayload =
+/// true` deserialize members as borrowed spans of the inbox buffer and/or
+/// return arena-backed span results.  For such types the runtime (a) keeps
+/// the inbox buffer alive (InboxHold) until the deferred execution task has
+/// run, and (b) wraps exec + reply serialization in an ArenaFrame so
+/// arena-staged results are reclaimed once the reply is on the wire.
+template <typename T>
+concept BorrowingAm = requires { T::kBorrowsPayload; };
+
 class AmEngine {
  public:
   AmEngine(Lamellae& lamellae, ThreadPool& pool, const RuntimeConfig& cfg,
@@ -130,7 +139,16 @@ class AmEngine {
                    src = my_pe()]() mutable {
         ScopedWorld scope(world_);
         AmContext ctx(*world_, src);
-        cb(invoke_exec<Am>(am, ctx));
+        if constexpr (BorrowingAm<Am>) {
+          // The result may point into the thread's scratch arena; the
+          // callback must consume it before this frame rewinds.  (Span
+          // *payloads* cannot take this path — there was no buffer to
+          // borrow from — so dispatchers apply local chunks directly.)
+          ArenaFrame frame;
+          cb(invoke_exec<Am>(am, ctx));
+        } else {
+          cb(invoke_exec<Am>(am, ctx));
+        }
         am_executed_->inc();
         completed_.fetch_add(1, std::memory_order_relaxed);
       });
@@ -151,6 +169,24 @@ class AmEngine {
           completed_.fetch_add(1, std::memory_order_relaxed);
         });
     write_record_inplace(dst, AmTypeId<Am>::id, kWantsReply, rid, am);
+  }
+
+  /// Fire-and-forget: launch `am` on `dst` with no reply record, no
+  /// completer, and no entry in this PE's launched/completed accounting —
+  /// wait_all() does not cover it.  For runtime protocols (e.g. the reduce
+  /// combining tree) whose own completion message proves every prior hop
+  /// has landed.  Local sends fall back to send_cb (the bypass never
+  /// replies anyway, and the spawned task should count as local work).
+  template <ActiveMessageType Am>
+  void send_forget(pe_id dst, Am am) {
+    if (dst == my_pe()) {
+      send_cb(dst, std::move(am), [](am_return_t<Am>) {});
+      return;
+    }
+    am_sent_remote_->inc();
+    const request_id rid =
+        next_request_id_.fetch_add(1, std::memory_order_relaxed);
+    write_record_inplace(dst, AmTypeId<Am>::id, 0, rid, am);
   }
 
   /// Send a reply for request `rid` back to `dst` (used by executors).
@@ -320,6 +356,20 @@ struct AmExecutor {
       engine.note_am_executed();
       if ((flags & kWantsReply) != 0) engine.send_reply(src, rid, result);
       return;
+    } else if constexpr (BorrowingAm<Am>) {
+      // The deserialized AM holds spans into the inbox buffer; keep the
+      // buffer alive until this task has executed and replied.  The arena
+      // frame reclaims any result staging once the reply is serialized.
+      batch.tasks.emplace_back([&engine, am = std::move(am), src, rid, flags,
+                                hold = batch.require_hold()]() mutable {
+        ScopedWorld scope(engine.world());
+        AmContext ctx(*engine.world(), src);
+        ArenaFrame frame;
+        auto result = AmEngine::invoke_exec<Am>(am, ctx);
+        engine.note_am_executed();
+        if ((flags & kWantsReply) != 0) engine.send_reply(src, rid, result);
+        hold.reset();
+      });
     } else {
       batch.tasks.emplace_back([&engine, am = std::move(am), src, rid,
                                 flags]() mutable {

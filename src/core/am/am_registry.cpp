@@ -2,8 +2,13 @@
 
 #include "common/error.hpp"
 #include "core/am/wire.hpp"
+#include "lamellae/cmd_queue.hpp"
 
 namespace lamellar {
+
+InboxHold::~InboxHold() {
+  if (recycler != nullptr) recycler->recycle(std::move(buffer));
+}
 
 AmRegistry& AmRegistry::instance() {
   static AmRegistry registry;

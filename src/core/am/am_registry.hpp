@@ -9,22 +9,45 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "common/bytes.hpp"
 #include "common/types.hpp"
 #include "core/scheduler/task.hpp"
 
 namespace lamellar {
 
 class AmEngine;
+class OutgoingQueues;
+
+/// Keeps one aggregated inbox buffer alive while deferred tasks execute AMs
+/// that borrow views of its payload (kBorrowsPayload types).  The
+/// dispatcher parks the drained buffer here after the record walk; the last
+/// task to release its reference recycles the buffer back to the pool.
+/// (Moving the ByteBuffer moves a std::vector, so the heap storage — and
+/// every span into it — stays put.)
+struct InboxHold {
+  ByteBuffer buffer;
+  OutgoingQueues* recycler = nullptr;
+  ~InboxHold();
+};
 
 /// Execution tasks collected while one aggregated buffer is parsed, then
 /// injected into the thread pool as a single batch (one pending-count
 /// update, one wake) instead of per-record spawns.
 struct AmDispatchBatch {
   std::vector<Task> tasks;
+  /// Created on demand by executors of payload-borrowing AM types; empty
+  /// when every record either completed synchronously or was copied out.
+  std::shared_ptr<InboxHold> hold;
+
+  std::shared_ptr<InboxHold>& require_hold() {
+    if (!hold) hold = std::make_shared<InboxHold>();
+    return hold;
+  }
 };
 
 /// Type-erased executor: deserializes an AM of its type straight from the

@@ -7,61 +7,139 @@
 // the owner applies the batch under its type's safety regime and replies
 // with fetch results.
 //
+// Wire discipline (DESIGN.md §9): index and operand payloads are span-based.
+// The send side writes them with Serializer::put_elems / put_elems_gather
+// straight into the active aggregation lane (operand gathers — strided
+// slices, caller-position permutations — happen during that single write),
+// and exec() borrows them back out of the inbox buffer with get_elems.  The
+// AM types declare kBorrowsPayload, so the engine keeps the inbox buffer
+// alive across deferred execution and wraps exec + reply in an ArenaFrame;
+// fetch results are staged in the scratch arena and serialized as ValSpan.
+//
 // AMs are templates over the element type; LAMELLAR_REGISTER_ARRAY_ELEMENT
 // instantiates and registers the full set for one element type (the standard
 // numeric types are pre-registered in array_base.cpp).
 #pragma once
 
+#include <cstring>
 #include <limits>
 #include <optional>
+#include <span>
 #include <vector>
 
+#include "common/scratch_arena.hpp"
 #include "core/am/am_engine.hpp"
 #include "core/array/array_state.hpp"
 
 namespace lamellar {
 
+/// Reply carrier for batched fetch results: a span over arena- or
+/// slab-backed elements on the owner, a borrowed inbox view (or arena
+/// fallback) on the requester.  Consumers must scatter the view before the
+/// enclosing frame/buffer is released.
+template <typename U>
+struct ValSpan {
+  std::span<const U> view;
+
+  template <class Ar>
+  void serialize(Ar& ar) {
+    if constexpr (Ar::is_writing) {
+      ar.put_elems(view);
+    } else {
+      view = ar.template get_elems<U>();
+    }
+  }
+};
+
 template <typename T>
 struct ArrayOpAm {
+  static constexpr bool kBorrowsPayload = true;
+
   Darc<ArrayState<T>> state;
   OpCode op = OpCode::kAdd;
   std::uint8_t fetch = 0;
   PairMode pair = PairMode::kOneToOne;
-  std::vector<std::uint64_t> locals;
-  std::vector<T> vals;
+  std::span<const std::uint64_t> locals;
+  std::span<const T> vals;
+
+  // Send-side only (not wire state): when set, the operand slice is the
+  // permutation vals_base[gather_pos[j]], written element-wise into the
+  // lane instead of being staged contiguously first.
+  const T* vals_base = nullptr;
+  std::span<const std::size_t> gather_pos;
 
   template <class Ar>
   void serialize(Ar& ar) {
-    ar(state, op, fetch, pair, locals, vals);
+    ar(state, op, fetch, pair);
+    if constexpr (Ar::is_writing) {
+      ar.put_elems(locals);
+      if (vals_base != nullptr) {
+        ar.template put_elems_gather<T>(
+            gather_pos.size(),
+            [this](std::size_t j) { return vals_base[gather_pos[j]]; });
+      } else {
+        ar.put_elems(vals);
+      }
+    } else {
+      locals = ar.template get_elems<std::uint64_t>();
+      vals = ar.template get_elems<T>();
+    }
   }
 
-  std::vector<T> exec(AmContext&) {
-    return array_detail::apply_batch<T>(*state, op, fetch != 0, pair, locals,
-                                        vals);
+  ValSpan<T> exec(AmContext&) {
+    const std::size_t n =
+        pair == PairMode::kOneIdxManyVals ? vals.size() : locals.size();
+    std::span<T> out;
+    if (fetch != 0) out = ScratchArena::local().alloc_span<T>(n);
+    array_detail::apply_batch_sink<T>(*state, op, fetch != 0, pair, locals,
+                                      vals, out.data());
+    return {out};
   }
 };
 
 template <typename T>
 struct ArrayCexAm {
+  static constexpr bool kBorrowsPayload = true;
+
   Darc<ArrayState<T>> state;
-  std::vector<std::uint64_t> locals;
   T expected{};
-  std::vector<T> desired;  ///< one per index, or a single shared value
+  std::span<const std::uint64_t> locals;
+  std::span<const T> desired;  ///< one per index, or a single shared value
+
+  // Send-side only: per-index desired values gathered by caller position.
+  const T* desired_base = nullptr;
+  std::span<const std::size_t> gather_pos;
 
   template <class Ar>
   void serialize(Ar& ar) {
-    ar(state, locals, expected, desired);
+    ar(state, expected);
+    if constexpr (Ar::is_writing) {
+      ar.put_elems(locals);
+      if (desired_base != nullptr) {
+        ar.template put_elems_gather<T>(
+            gather_pos.size(),
+            [this](std::size_t j) { return desired_base[gather_pos[j]]; });
+      } else {
+        ar.put_elems(desired);
+      }
+    } else {
+      locals = ar.template get_elems<std::uint64_t>();
+      desired = ar.template get_elems<T>();
+    }
   }
 
-  std::vector<CexResult<T>> exec(AmContext&) {
-    std::vector<CexResult<T>> out;
-    out.reserve(locals.size());
+  ValSpan<CexResult<T>> exec(AmContext&) {
+    auto out = ScratchArena::local().alloc_span<CexResult<T>>(locals.size());
+    // Zero the slots so struct padding never carries uninitialized bytes
+    // onto the wire.
+    if (!out.empty()) {
+      std::memset(static_cast<void*>(out.data()), 0, out.size_bytes());
+    }
     for (std::size_t j = 0; j < locals.size(); ++j) {
       const T want = desired.size() == 1 ? desired[0] : desired[j];
-      out.push_back(array_detail::apply_cex<T>(*state, locals[j], expected,
-                                               want));
+      out[j] = array_detail::apply_cex<T>(*state, locals[j], expected, want);
     }
-    return out;
+    return {out};
   }
 };
 
@@ -70,13 +148,32 @@ struct ArrayCexAm {
 /// LocalLockArray locks then memcopies, AtomicArray stores element-wise).
 template <typename T>
 struct ArrayPutAm {
+  static constexpr bool kBorrowsPayload = true;
+
   Darc<ArrayState<T>> state;
   std::uint64_t local_start = 0;
-  std::vector<T> data;
+  std::span<const T> data;  ///< exec-side borrowed view
+
+  // Send-side only: source elements src[j * src_stride] for j < count,
+  // written straight from the caller's buffer (stride > 1 serves cyclic
+  // strided runs without staging a contiguous copy).
+  const T* src = nullptr;
+  std::uint64_t count = 0;
+  std::uint64_t src_stride = 1;
 
   template <class Ar>
   void serialize(Ar& ar) {
-    ar(state, local_start, data);
+    ar(state, local_start);
+    if constexpr (Ar::is_writing) {
+      if (src_stride > 1) {
+        ar.template put_elems_gather<T>(
+            count, [this](std::size_t j) { return src[j * src_stride]; });
+      } else {
+        ar.put_elems(std::span<const T>{src, count});
+      }
+    } else {
+      data = ar.template get_elems<T>();
+    }
   }
 
   void exec(AmContext&) {
@@ -112,9 +209,13 @@ struct ArrayPutAm {
   }
 };
 
-/// RDMA-like get of a contiguous local range.
+/// RDMA-like get of a contiguous local range.  The reply serializes
+/// directly from the owner's slab where the mode permits (Unsafe/ReadOnly);
+/// modes that need a guarded read stage into the scratch arena.
 template <typename T>
 struct ArrayGetAm {
+  static constexpr bool kBorrowsPayload = true;
+
   Darc<ArrayState<T>> state;
   std::uint64_t local_start = 0;
   std::uint64_t len = 0;
@@ -124,91 +225,261 @@ struct ArrayGetAm {
     ar(state, local_start, len);
   }
 
-  std::vector<T> exec(AmContext&) {
+  ValSpan<T> exec(AmContext&) {
     ArrayState<T>& st = *state;
     auto slab = st.local_slab();
-    std::vector<T> out;
-    out.reserve(len);
     if (st.mode == ArrayMode::kLocalLock) {
+      auto out = ScratchArena::local().alloc_span<T>(len);
       std::shared_lock lock(*st.local_lock);
-      out.assign(slab.begin() + local_start,
-                 slab.begin() + local_start + len);
-      return out;
+      std::copy(slab.begin() + local_start, slab.begin() + local_start + len,
+                out.begin());
+      return {out};
     }
     if (st.mode == ArrayMode::kAtomicNative ||
         st.mode == ArrayMode::kAtomicGeneric) {
+      auto out = ScratchArena::local().alloc_span<T>(len);
       for (std::uint64_t j = 0; j < len; ++j) {
-        out.push_back(array_detail::apply_one<T>(st, local_start + j,
-                                                 OpCode::kLoad, T{}));
+        out[j] = array_detail::apply_one<T>(st, local_start + j, OpCode::kLoad,
+                                            T{});
       }
-      return out;
+      return {out};
     }
-    out.assign(slab.begin() + local_start, slab.begin() + local_start + len);
-    return out;
+    // Unsafe / ReadOnly: the reply is serialized straight out of the slab
+    // (the Darc in this AM keeps the state alive until the reply is on the
+    // wire).
+    return {std::span<const T>{slab.data() + local_start, len}};
   }
 };
 
-enum class ReduceOp : std::uint8_t { kSum, kProd, kMin, kMax };
-
-/// Owner-side partial reduction over the view's local slots.
 template <typename T>
-struct ArrayReduceAm {
+T reduce_identity(ReduceOp op) {
+  switch (op) {
+    case ReduceOp::kSum:
+      return T{};
+    case ReduceOp::kProd:
+      return T{1};
+    case ReduceOp::kMin:
+      return std::numeric_limits<T>::max();
+    case ReduceOp::kMax:
+      return std::numeric_limits<T>::lowest();
+  }
+  return T{};
+}
+
+template <typename T>
+T reduce_fold(ReduceOp op, T a, T b) {
+  switch (op) {
+    case ReduceOp::kSum:
+      return a + b;
+    case ReduceOp::kProd:
+      return a * b;
+    case ReduceOp::kMin:
+      return std::min(a, b);
+    case ReduceOp::kMax:
+      return std::max(a, b);
+  }
+  return a;
+}
+
+/// Children of `rel_rank` in a binomial tree of the given subtree width:
+/// rel_rank + 1, 2, 4, ... below `width`, skipping relative ranks at or
+/// beyond the team size (holes in the rounded-up power-of-two span; h
+/// grows, so the first hole ends the enumeration).
+inline std::size_t reduce_child_count(std::uint32_t rel_rank,
+                                      std::uint32_t width, std::size_t size) {
+  std::size_t n = 0;
+  for (std::uint32_t h = 1; h < width; h <<= 1) {
+    if (rel_rank + h >= size) break;
+    ++n;
+  }
+  return n;
+}
+
+template <typename T>
+struct ReducePartialAm;
+
+namespace array_detail {
+
+/// Fold one contribution (a child subtree's partial or the node's own
+/// local partial) into the node for `id`.  Contributions may arrive before
+/// the node's own start AM (the root fans every start out directly), so
+/// the first value seeds `acc` and `remaining` runs negative until
+/// reduce_node_init adds the expected count.  The final contribution
+/// removes the node and either completes the root promise or forwards the
+/// folded value one level up the tree — no task ever blocks on a child.
+template <typename T>
+void reduce_finish(const Darc<ArrayState<T>>& state, std::uint64_t id,
+                   typename ArrayState<T>::ReduceNode&& done) {
+  if (done.root) {
+    done.promise.set_value(std::move(done.acc));
+    return;
+  }
+  ArrayState<T>& st = *state;
+  ReducePartialAm<T> up;
+  up.state = state;
+  up.id = id;
+  up.op = done.op;
+  up.value = done.acc;
+  st.world->engine().send_forget(st.team.world_pe(done.parent_rank),
+                                 std::move(up));
+}
+
+template <typename T>
+void reduce_contribute(const Darc<ArrayState<T>>& state, std::uint64_t id,
+                       ReduceOp op, T value) {
+  ArrayState<T>& st = *state;
+  typename ArrayState<T>::ReduceNode done;
+  {
+    std::lock_guard lock(st.reduce_coord->mu);
+    auto& node = st.reduce_coord->nodes[id];
+    node.op = op;
+    node.acc = node.touched ? reduce_fold<T>(op, node.acc, value) : value;
+    node.touched = true;
+    if (--node.remaining != 0 || !node.init) return;
+    done = std::move(node);
+    st.reduce_coord->nodes.erase(id);
+  }
+  reduce_finish<T>(state, id, std::move(done));
+}
+
+/// Arm the node for `id` with its tree position: `count` expected
+/// contributions (children + the local partial) and where the folded value
+/// goes.  Completes the node if every contribution already arrived.
+template <typename T>
+void reduce_node_init(const Darc<ArrayState<T>>& state, std::uint64_t id,
+                      std::int64_t count, std::uint32_t parent_rank,
+                      bool root, Promise<T> promise) {
+  ArrayState<T>& st = *state;
+  typename ArrayState<T>::ReduceNode done;
+  {
+    std::lock_guard lock(st.reduce_coord->mu);
+    auto& node = st.reduce_coord->nodes[id];
+    node.remaining += count;
+    node.parent_rank = parent_rank;
+    node.root = root;
+    node.promise = std::move(promise);
+    node.init = true;
+    if (node.remaining != 0) return;
+    done = std::move(node);
+    st.reduce_coord->nodes.erase(id);
+  }
+  reduce_finish<T>(state, id, std::move(done));
+}
+
+}  // namespace array_detail
+
+/// One node of an asynchronous binomial combining tree over the team
+/// (root = the caller's rank).  The root fans a start AM out to every PE
+/// at once — a node's position is implied by its relative rank (subtree
+/// width = lowest set bit, parent = rel_rank minus that bit) — so all
+/// owner-side scans enqueue in one wave instead of cascading down the
+/// tree.  Each node arms its fold state, computes the local partial over
+/// its view slots, and *returns*; partials flow up as ReducePartialAm and
+/// the last contribution forwards the combined value.  Nothing blocks, so
+/// the tree costs one task per PE instead of size-1 spinning waits.
+template <typename T>
+struct ReduceStartAm {
   Darc<ArrayState<T>> state;
   ReduceOp op = ReduceOp::kSum;
   std::uint64_t view_start = 0;
   std::uint64_t view_len = 0;
+  std::uint32_t rel_rank = 0;   ///< rank relative to the tree root
+  std::uint32_t width = 1;      ///< subtree width (power of two)
+  std::uint32_t root_rank = 0;  ///< team rank of the tree root
+  std::uint64_t id = 0;         ///< tree id in the root's sequence space
 
   template <class Ar>
   void serialize(Ar& ar) {
-    ar(state, op, view_start, view_len);
+    ar(state, op, view_start, view_len, rel_rank, width, root_rank, id);
   }
 
-  T exec(AmContext&) {
+  void exec(AmContext&) {
     ArrayState<T>& st = *state;
+    const std::size_t size = st.team.size();
+
+    // Arm the fold state before the scan (the root's node, carrying the
+    // caller's promise, was armed by reduce() itself).
+    if (rel_rank != 0) {
+      const auto nkids = static_cast<std::int64_t>(
+          reduce_child_count(rel_rank, width, size));
+      const std::uint32_t parent_rel = rel_rank - (rel_rank & (~rel_rank + 1));
+      const auto parent =
+          static_cast<std::uint32_t>((root_rank + parent_rel) % size);
+      array_detail::reduce_node_init<T>(state, id, nkids + 1, parent, false,
+                                        Promise<T>{});
+    }
+
     const auto [lo, hi] = st.local_view_range(view_start, view_len);
-    // With the PE-wide lock held (LocalLock mode), elements are read
-    // directly: apply_one would re-acquire the same lock and self-deadlock.
-    std::optional<std::shared_lock<std::shared_mutex>> lock;
-    if (st.mode == ArrayMode::kLocalLock) lock.emplace(*st.local_lock);
-    auto read = [&](std::size_t i) {
+    // Owner-side scan — the per-element cost *is* the reduction, so the
+    // mode and op dispatch are hoisted out of the loop.  Atomic modes read
+    // through relaxed atomic_refs: tear-free, and a reduction racing with
+    // updates promises only a value-level snapshot, never ordering.
+    // LocalLock holds the PE-wide shared lock for the whole scan (elements
+    // are then read directly — apply_one would re-acquire the same lock
+    // and self-deadlock); the remaining modes read the slab directly,
+    // which vectorizes.
+    T acc = reduce_identity<T>(op);
+    {
+      std::optional<std::shared_lock<std::shared_mutex>> lock;
+      if (st.mode == ArrayMode::kLocalLock) lock.emplace(*st.local_lock);
+      auto slab = st.local_slab();
+      auto scan = [&](auto read) {
+        switch (op) {
+          case ReduceOp::kSum:
+            for (std::size_t i = lo; i < hi; ++i) acc = acc + read(i);
+            break;
+          case ReduceOp::kProd:
+            for (std::size_t i = lo; i < hi; ++i) acc = acc * read(i);
+            break;
+          case ReduceOp::kMin:
+            for (std::size_t i = lo; i < hi; ++i) acc = std::min(acc, read(i));
+            break;
+          case ReduceOp::kMax:
+            for (std::size_t i = lo; i < hi; ++i) acc = std::max(acc, read(i));
+            break;
+        }
+      };
       if (st.mode == ArrayMode::kAtomicNative ||
           st.mode == ArrayMode::kAtomicGeneric) {
-        return array_detail::apply_one<T>(st, i, OpCode::kLoad, T{});
-      }
-      return st.local_slab()[i];
-    };
-    if (hi == lo) {
-      switch (op) {
-        case ReduceOp::kSum:
-          return T{};
-        case ReduceOp::kProd:
-          return T{1};
-        case ReduceOp::kMin:
-          return std::numeric_limits<T>::max();
-        case ReduceOp::kMax:
-          return std::numeric_limits<T>::lowest();
-      }
-      return T{};
-    }
-    T acc = read(lo);
-    for (std::size_t i = lo + 1; i < hi; ++i) {
-      const T v = read(i);
-      switch (op) {
-        case ReduceOp::kSum:
-          acc = acc + v;
-          break;
-        case ReduceOp::kProd:
-          acc = acc * v;
-          break;
-        case ReduceOp::kMin:
-          acc = std::min(acc, v);
-          break;
-        case ReduceOp::kMax:
-          acc = std::max(acc, v);
-          break;
+        if constexpr (kNativeAtomicCapable<T>) {
+          scan([&](std::size_t i) {
+            return std::atomic_ref<T>(slab[i]).load(std::memory_order_relaxed);
+          });
+        } else {
+          // Generic-atomic over a type whose plain loads could tear: take
+          // the per-element byte lock.
+          scan([&](std::size_t i) {
+            return array_detail::apply_one<T>(st, i, OpCode::kLoad, T{});
+          });
+        }
+      } else {
+        scan([&](std::size_t i) { return slab[i]; });
       }
     }
-    return acc;
+    array_detail::reduce_contribute<T>(state, id, op, acc);
+  }
+};
+
+/// A subtree's folded partial travelling one level up the combining tree.
+/// Executes inline during inbox dispatch (kRuntimeInternal): the fold is a
+/// short critical section + at most one forwarded record, and skipping the
+/// task round-trip keeps the up-tree tail latency at one hop per level.
+template <typename T>
+struct ReducePartialAm {
+  static constexpr bool kRuntimeInternal = true;
+
+  Darc<ArrayState<T>> state;
+  std::uint64_t id = 0;
+  ReduceOp op = ReduceOp::kSum;
+  T value{};
+
+  template <class Ar>
+  void serialize(Ar& ar) {
+    ar(state, id, op, value);
+  }
+
+  void exec(AmContext&) {
+    array_detail::reduce_contribute<T>(state, id, op, value);
   }
 };
 
@@ -248,5 +519,6 @@ struct ArrayFillAm {
   LAMELLAR_REGISTER_AM(::lamellar::ArrayCexAm<T>);      \
   LAMELLAR_REGISTER_AM(::lamellar::ArrayPutAm<T>);      \
   LAMELLAR_REGISTER_AM(::lamellar::ArrayGetAm<T>);      \
-  LAMELLAR_REGISTER_AM(::lamellar::ArrayReduceAm<T>);   \
+  LAMELLAR_REGISTER_AM(::lamellar::ReduceStartAm<T>);   \
+  LAMELLAR_REGISTER_AM(::lamellar::ReducePartialAm<T>); \
   LAMELLAR_REGISTER_AM(::lamellar::ArrayFillAm<T>)

@@ -11,13 +11,17 @@
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "core/array/distribution.hpp"
 #include "core/memregion/shared_region.hpp"
+#include "core/scheduler/future.hpp"
 #include "core/world/world.hpp"
+#include "obs/metrics.hpp"
 
 namespace lamellar {
 
@@ -72,6 +76,8 @@ template <typename T>
 constexpr bool kNativeAtomicCapable =
     std::is_integral_v<T> && sizeof(T) <= 8 && sizeof(T) >= 1;
 
+enum class ReduceOp : std::uint8_t { kSum, kProd, kMin, kMax };
+
 template <typename T>
 struct ArrayState {
   World* world = nullptr;
@@ -86,6 +92,37 @@ struct ArrayState {
   /// GenericAtomicArray: a 1-byte mutex per local element.
   std::unique_ptr<std::atomic<std::uint8_t>[]> elem_locks;
   std::size_t elem_locks_len = 0;
+
+  // Batched-op pipeline metrics ("array.*"), resolved once in create_state
+  // from this PE's registry (inert slots when metrics are disabled).
+  obs::Counter* ops_batched = nullptr;
+  obs::Counter* chunk_bytes_inline = nullptr;
+  obs::Counter* plan_allocs = nullptr;
+
+  /// One in-flight node of an async combining-tree reduction on this PE.
+  /// The root fans every ReduceStartAm out directly, so a fast child's
+  /// partial can arrive before this node's own start — contributions
+  /// therefore fold order-tolerantly (`touched`/`remaining` go negative
+  /// until `init` adds the expected count).  The final contribution either
+  /// completes the root promise or forwards the folded value to
+  /// `parent_rank`.
+  struct ReduceNode {
+    T acc{};
+    ReduceOp op = ReduceOp::kSum;
+    std::int64_t remaining = 0;  ///< outstanding contributions once `init`
+    std::uint32_t parent_rank = 0;
+    bool init = false;     ///< start arrived: remaining/parent/root valid
+    bool touched = false;  ///< acc holds at least one folded value
+    bool root = false;
+    Promise<T> promise;  ///< meaningful only when `root`
+  };
+  struct ReduceCoord {
+    std::mutex mu;
+    std::unordered_map<std::uint64_t, ReduceNode> nodes;
+    std::uint64_t next_seq = 0;
+  };
+  std::unique_ptr<ReduceCoord> reduce_coord =
+      std::make_unique<ReduceCoord>();
 
   ArrayState() = default;
   ArrayState(ArrayState&&) noexcept = default;
@@ -352,18 +389,18 @@ CexResult<T> apply_cex(ArrayState<T>& st, std::size_t local, T expected,
   throw Error("unknown array mode");
 }
 
-/// Apply a whole batch (already translated to local indices) and collect
-/// fetch results in order.  Charges per-element safety costs to the PE
-/// clock so Fig. 2/3 reflect the paper's observed overhead ordering.
+/// Apply a whole batch (already translated to local indices), writing fetch
+/// results into the caller-provided sink — dispatchers point `results` at
+/// the gather's output slots (or an arena span) so the owner side allocates
+/// nothing.  `results` may be null when `fetch` is false.  Charges
+/// per-element safety costs to the PE clock so Fig. 2/3 reflect the paper's
+/// observed overhead ordering.
 template <typename T>
-std::vector<T> apply_batch(ArrayState<T>& st, OpCode op, bool fetch,
-                           PairMode pair,
-                           std::span<const std::uint64_t> locals,
-                           std::span<const T> vals) {
-  std::vector<T> results;
+void apply_batch_sink(ArrayState<T>& st, OpCode op, bool fetch, PairMode pair,
+                      std::span<const std::uint64_t> locals,
+                      std::span<const T> vals, T* results) {
   const std::size_t n =
       pair == PairMode::kOneIdxManyVals ? vals.size() : locals.size();
-  if (fetch) results.reserve(n);
 
   auto& lamellae = st.world->lamellae();
   const auto& params = lamellae.params();
@@ -399,10 +436,10 @@ std::vector<T> apply_batch(ArrayState<T>& st, OpCode op, bool fetch,
                             : (pair == PairMode::kManyIdxOneVal ? vals[0]
                                                                 : vals[j]);
       const T prev = apply_one(st, local, op, operand);
-      if (fetch) results.push_back(prev);
+      if (fetch) results[j] = prev;
     }
     st.mode = saved;
-    return results;
+    return;
   }
 
   for (std::size_t j = 0; j < n; ++j) {
@@ -412,9 +449,8 @@ std::vector<T> apply_batch(ArrayState<T>& st, OpCode op, bool fetch,
         vals.empty() ? T{}
                      : (pair == PairMode::kManyIdxOneVal ? vals[0] : vals[j]);
     const T prev = apply_one(st, local, op, operand);
-    if (fetch) results.push_back(prev);
+    if (fetch) results[j] = prev;
   }
-  return results;
 }
 
 }  // namespace array_detail

@@ -50,6 +50,10 @@ Darc<ArrayState<T>> create_state(World& world, const Team& team,
   st.mode = mode;
   if (mode == ArrayMode::kAtomicGeneric) st.ensure_elem_locks();
   if (mode == ArrayMode::kLocalLock) st.ensure_local_lock();
+  obs::MetricsRegistry& reg = world.metrics();
+  st.ops_batched = &reg.counter("array.ops_batched");
+  st.chunk_bytes_inline = &reg.counter("array.chunk_bytes_inline");
+  st.plan_allocs = &reg.counter("array.plan_allocs");
   // The symmetric heap may recycle memory: zero the slab before publishing.
   auto slab = st.data.unsafe_local_slice();
   std::fill(slab.begin(), slab.end(), T{});
@@ -121,11 +125,12 @@ class ArrayBase {
                                               data.size());
       ArrayState<T>& st = *state_;
       const std::size_t region = st.data.arena_offset();
+      ArenaFrame frame;
       for (auto& r : ranges) {
         st.world->lamellae().put(
             st.team.world_pe(r.rank), region + r.local_start * sizeof(T),
-            std::as_bytes(std::span<const T>(data.data() + r.caller_offset,
-                                             r.len)));
+            std::as_bytes(array_detail::contiguous_slice(frame.arena(), data,
+                                                         r)));
       }
       return ready_future(Unit{});
     }
@@ -141,16 +146,24 @@ class ArrayBase {
     ArrayState<T>& st = *state_;
     const std::size_t my_rank = st.my_rank();
     for (auto& r : ranges) {
-      std::vector<T> slice(data.begin() + r.caller_offset,
-                           data.begin() + r.caller_offset + r.len);
+      ArrayPutAm<T> am;
+      am.state = state_;
+      am.local_start = r.local_start;
       if (r.rank == my_rank) {
-        ArrayPutAm<T> am{state_, r.local_start, std::move(slice)};
+        // Owner == caller: apply directly; strided runs stage a contiguous
+        // slice in the arena for the duration of the call.
+        ArenaFrame frame;
+        am.data = array_detail::contiguous_slice(frame.arena(), data, r);
         AmContext ctx(*st.world, st.world->my_pe());
         am.exec(ctx);
         array_detail::finish_unit(gather);
         continue;
       }
-      ArrayPutAm<T> am{state_, r.local_start, std::move(slice)};
+      // Remote: elements serialize straight from the caller's buffer (the
+      // AM walks src with src_stride), no staging copy at all.
+      am.src = data.data() + r.caller_offset;
+      am.count = r.len;
+      am.src_stride = r.caller_stride;
       st.world->engine().send_cb(
           st.team.world_pe(r.rank), std::move(am),
           [gather](Unit) { array_detail::finish_unit(gather); });
@@ -163,15 +176,17 @@ class ArrayBase {
     check_range(start, len);
     auto ranges =
         array_detail::plan_ranges(*state_, view_start_ + start, len);
+    // Lock-free gather: each range scatters into its own disjoint caller
+    // positions; the release fetch_sub publishes the writes to whoever
+    // observes zero and completes the promise.
     struct GetGather {
-      std::mutex mu;
       std::vector<T> out;
-      std::size_t remaining = 0;
+      std::atomic<std::size_t> remaining{0};
       Promise<std::vector<T>> promise;
     };
     auto gather = std::make_shared<GetGather>();
     gather->out.resize(len);
-    gather->remaining = ranges.size();
+    gather->remaining.store(ranges.size(), std::memory_order_relaxed);
     if (ranges.empty()) {
       gather->promise.set_value({});
       return gather->promise.future();
@@ -179,28 +194,27 @@ class ArrayBase {
     auto fut = gather->promise.future();
     ArrayState<T>& st = *state_;
     const std::size_t my_rank = st.my_rank();
-    auto absorb = [gather](std::size_t caller_offset, std::vector<T> piece) {
-      std::unique_lock lock(gather->mu);
-      std::copy(piece.begin(), piece.end(),
-                gather->out.begin() + caller_offset);
-      if (--gather->remaining == 0) {
-        auto out = std::move(gather->out);
-        lock.unlock();
-        gather->promise.set_value(std::move(out));
+    auto absorb = [gather](const array_detail::OwnedRange& r,
+                           std::span<const T> piece) {
+      array_detail::scatter_range(gather->out.data(), r, piece);
+      if (gather->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        gather->promise.set_value(std::move(gather->out));
       }
     };
     for (auto& r : ranges) {
       ArrayGetAm<T> am{state_, r.local_start, r.len};
       if (r.rank == my_rank) {
         AmContext ctx(*st.world, st.world->my_pe());
-        absorb(r.caller_offset, am.exec(ctx));
+        // The reply view may be arena-staged (guarded modes); scatter it
+        // before the frame rewinds.
+        ArenaFrame frame;
+        absorb(r, am.exec(ctx).view);
         continue;
       }
-      st.world->engine().send_cb(
-          st.team.world_pe(r.rank), std::move(am),
-          [absorb, off = r.caller_offset](std::vector<T> piece) {
-            absorb(off, std::move(piece));
-          });
+      st.world->engine().send_cb(st.team.world_pe(r.rank), std::move(am),
+                                 [absorb, r](ValSpan<T> piece) {
+                                   absorb(r, piece.view);
+                                 });
     }
     return fut;
   }
@@ -247,56 +261,45 @@ class ArrayBase {
 
   // ---- reductions ----
 
+  /// Reduce over the view via an asynchronous binomial combining tree
+  /// rooted at the calling PE.  The root arms its own fold node, then fans
+  /// a start AM out to every PE in one wave (each node's tree position is
+  /// implied by its relative rank); owner-side partials fold up the tree
+  /// as ReducePartialAm messages, so no task ever blocks on a child and no
+  /// single hot root absorbs size-1 partials under a mutex
+  /// (ReduceStartAm::exec).
   Future<T> reduce(ReduceOp op) const {
-    struct RGather {
-      std::mutex mu;
-      std::size_t remaining = 0;
-      bool first = true;
-      T acc{};
-      ReduceOp op{};
-      Promise<T> promise;
-    };
     ArrayState<T>& st = *state_;
-    auto gather = std::make_shared<RGather>();
-    gather->remaining = st.team.size();
-    gather->op = op;
-    auto fut = gather->promise.future();
-    for (std::size_t r = 0; r < st.team.size(); ++r) {
-      ArrayReduceAm<T> am;
+    const std::size_t size = st.team.size();
+    std::uint32_t width = 1;
+    while (width < size) width <<= 1;
+    const auto root = static_cast<std::uint32_t>(st.my_rank());
+
+    Promise<T> promise;
+    auto fut = promise.future();
+    std::uint64_t id;
+    {
+      std::lock_guard lock(st.reduce_coord->mu);
+      id = (static_cast<std::uint64_t>(root) << 40) |
+           st.reduce_coord->next_seq++;
+    }
+    const auto nkids =
+        static_cast<std::int64_t>(reduce_child_count(0, width, size));
+    array_detail::reduce_node_init<T>(state_, id, nkids + 1, root, true,
+                                      std::move(promise));
+
+    for (std::uint32_t r = 0; r < size; ++r) {
+      ReduceStartAm<T> am;
       am.state = state_;
       am.op = op;
       am.view_start = view_start_;
       am.view_len = view_len_;
-      st.world->engine().send_cb(st.team.world_pe(r), std::move(am),
-                                 [gather](T partial) {
-                                   std::unique_lock lock(gather->mu);
-                                   if (gather->first) {
-                                     gather->acc = partial;
-                                     gather->first = false;
-                                   } else {
-                                     switch (gather->op) {
-                                       case ReduceOp::kSum:
-                                         gather->acc = gather->acc + partial;
-                                         break;
-                                       case ReduceOp::kProd:
-                                         gather->acc = gather->acc * partial;
-                                         break;
-                                       case ReduceOp::kMin:
-                                         gather->acc =
-                                             std::min(gather->acc, partial);
-                                         break;
-                                       case ReduceOp::kMax:
-                                         gather->acc =
-                                             std::max(gather->acc, partial);
-                                         break;
-                                     }
-                                   }
-                                   if (--gather->remaining == 0) {
-                                     T out = gather->acc;
-                                     lock.unlock();
-                                     gather->promise.set_value(out);
-                                   }
-                                 });
+      am.rel_rank = r;
+      am.width = r == 0 ? width : r & (~r + 1);
+      am.root_rank = root;
+      am.id = id;
+      const std::size_t abs = (root + r) % size;
+      st.world->engine().send_forget(st.team.world_pe(abs), std::move(am));
     }
     return fut;
   }
@@ -337,16 +340,20 @@ class ArrayBase {
       return ready_future(Unit{});
     }
     Promise<Unit> promise;
+    // Stack-backed spans: send_cb serializes synchronously, so the storage
+    // only needs to outlive this call.
+    const std::uint64_t one_local[1] = {p.local_index};
+    const T one_val[1] = {v};
     ArrayOpAm<T> am;
     am.state = state_;
     am.op = op;
     am.fetch = 0;
     am.pair = PairMode::kOneToOne;
-    am.locals = {p.local_index};
-    am.vals = {v};
+    am.locals = std::span<const std::uint64_t>{one_local, 1};
+    am.vals = std::span<const T>{one_val, 1};
     st.world->engine().send_cb(
         st.team.world_pe(p.rank), std::move(am),
-        [promise](std::vector<T>) mutable { promise.set_value(Unit{}); });
+        [promise](ValSpan<T>) mutable { promise.set_value(Unit{}); });
     return promise.future();
   }
 
@@ -360,17 +367,20 @@ class ArrayBase {
           array_detail::apply_one<T>(st, p.local_index, op, v));
     }
     Promise<T> promise;
+    const std::uint64_t one_local[1] = {p.local_index};
+    const T one_val[1] = {v};
     ArrayOpAm<T> am;
     am.state = state_;
     am.op = op;
     am.fetch = 1;
     am.pair = PairMode::kOneToOne;
-    am.locals = {p.local_index};
-    am.vals = {v};
-    st.world->engine().send_cb(st.team.world_pe(p.rank), std::move(am),
-                               [promise](std::vector<T> r) mutable {
-                                 promise.set_value(r.empty() ? T{} : r[0]);
-                               });
+    am.locals = std::span<const std::uint64_t>{one_local, 1};
+    am.vals = std::span<const T>{one_val, 1};
+    st.world->engine().send_cb(
+        st.team.world_pe(p.rank), std::move(am),
+        [promise](ValSpan<T> r) mutable {
+          promise.set_value(r.view.empty() ? T{} : r.view[0]);
+        });
     return promise.future();
   }
 
@@ -519,15 +529,17 @@ class ArrayBase {
                                                      expected, desired));     \
     }                                                                         \
     Promise<CexResult<T>> promise;                                            \
+    const std::uint64_t one_local[1] = {p.local_index};                       \
+    const T one_desired[1] = {desired};                                       \
     ArrayCexAm<T> am;                                                         \
     am.state = this->state_;                                                  \
-    am.locals = {p.local_index};                                              \
+    am.locals = std::span<const std::uint64_t>{one_local, 1};                 \
     am.expected = expected;                                                   \
-    am.desired = {desired};                                                   \
+    am.desired = std::span<const T>{one_desired, 1};                          \
     st.world->engine().send_cb(                                               \
         st.team.world_pe(p.rank), std::move(am),                              \
-        [promise](std::vector<CexResult<T>> r) mutable {                      \
-          promise.set_value(r.empty() ? CexResult<T>{} : r[0]);               \
+        [promise](ValSpan<CexResult<T>> r) mutable {                          \
+          promise.set_value(r.view.empty() ? CexResult<T>{} : r.view[0]);     \
         });                                                                   \
     return promise.future();                                                  \
   }                                                                           \
@@ -580,11 +592,12 @@ class UnsafeArray : public ArrayBase<UnsafeArray<T>, T> {
         *this->state_, this->view_start_ + start, data.size());
     ArrayState<T>& st = *this->state_;
     const std::size_t region = st.data.arena_offset();
+    ArenaFrame frame;
     for (auto& r : ranges) {
       st.world->lamellae().put(
           st.team.world_pe(r.rank), region + r.local_start * sizeof(T),
-          std::as_bytes(std::span<const T>(data.data() + r.caller_offset,
-                                           r.len)));
+          std::as_bytes(
+              array_detail::contiguous_slice(frame.arena(), data, r)));
     }
   }
 
@@ -596,11 +609,17 @@ class UnsafeArray : public ArrayBase<UnsafeArray<T>, T> {
     ArrayState<T>& st = *this->state_;
     const std::size_t region = st.data.arena_offset();
     std::vector<T> out(len);
+    ArenaFrame frame;
     for (auto& r : ranges) {
-      st.world->lamellae().get(
-          st.team.world_pe(r.rank), region + r.local_start * sizeof(T),
-          std::as_writable_bytes(
-              std::span<T>(out.data() + r.caller_offset, r.len)));
+      // Strided runs land in an arena staging span, then scatter out.
+      std::span<T> dst{out.data() + r.caller_offset, r.len};
+      if (r.caller_stride > 1) dst = frame.arena().alloc_span<T>(r.len);
+      st.world->lamellae().get(st.team.world_pe(r.rank),
+                               region + r.local_start * sizeof(T),
+                               std::as_writable_bytes(dst));
+      if (r.caller_stride > 1) {
+        array_detail::scatter_range(out.data(), r, std::span<const T>(dst));
+      }
     }
     return out;
   }
@@ -632,11 +651,16 @@ class ReadOnlyArray : public ArrayBase<ReadOnlyArray<T>, T> {
     ArrayState<T>& st = *this->state_;
     const std::size_t region = st.data.arena_offset();
     std::vector<T> out(len);
+    ArenaFrame frame;
     for (auto& r : ranges) {
-      st.world->lamellae().get(
-          st.team.world_pe(r.rank), region + r.local_start * sizeof(T),
-          std::as_writable_bytes(
-              std::span<T>(out.data() + r.caller_offset, r.len)));
+      std::span<T> dst{out.data() + r.caller_offset, r.len};
+      if (r.caller_stride > 1) dst = frame.arena().alloc_span<T>(r.len);
+      st.world->lamellae().get(st.team.world_pe(r.rank),
+                               region + r.local_start * sizeof(T),
+                               std::as_writable_bytes(dst));
+      if (r.caller_stride > 1) {
+        array_detail::scatter_range(out.data(), r, std::span<const T>(dst));
+      }
     }
     return out;
   }

@@ -6,95 +6,163 @@
 // experiments use).  Fetch results are scattered back into caller order.
 // Local chunks are applied directly (owner == caller), remote chunks travel
 // as ArrayOpAm / ArrayCexAm.
+//
+// Memory discipline (DESIGN.md §9): planning is backed by the calling
+// thread's ScratchArena — flat index/position arrays bucketed by rank, a
+// chunk table of views into them — and rewound when the dispatch frame
+// ends, so a steady-state loop of batch calls performs no planner heap
+// allocation (array.plan_allocs counts arena growth; flat after warm-up).
+// Remote chunks serialize their index spans and operand gathers straight
+// into the aggregation lane; completions scatter into disjoint caller
+// positions and count down an atomic — no gather mutex anywhere.
 #pragma once
 
+#include <atomic>
+#include <cstring>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <vector>
 
+#include "common/scratch_arena.hpp"
 #include "core/array/array_ams.hpp"
 
 namespace lamellar {
 namespace array_detail {
 
-/// One destination-bound chunk: local indices + operand slice + original
-/// caller positions (for fetch scatter).
-struct ChunkPlan {
+/// One destination-bound chunk: a view into the plan's flat arrays.
+struct ChunkRef {
   std::size_t rank = 0;
-  std::vector<std::uint64_t> locals;
-  std::vector<std::size_t> positions;
+  std::size_t offset = 0;  ///< start within locals_flat / pos_flat
+  std::size_t len = 0;
 };
 
-/// Group indices by owner and split at the batch limit.
+/// Arena-backed batch plan: local indices and caller positions bucketed by
+/// owner rank (caller order preserved within each bucket), split into
+/// chunks at the batch limit.  Valid until the planning frame rewinds.
+struct BatchPlan {
+  std::span<std::uint64_t> locals_flat;
+  std::span<std::size_t> pos_flat;
+  std::span<ChunkRef> chunks;
+};
+
+/// Group indices by owner and split at the batch limit — two passes over
+/// the indices (place + count, then stable bucket scatter), all staging in
+/// the arena.  `want_positions` = false skips the caller-position table
+/// entirely (non-fetch many-one batches never read it).
 template <typename T>
-std::vector<ChunkPlan> plan_chunks(const ArrayState<T>& st,
-                                   std::span<const global_index> idxs,
-                                   std::size_t view_start,
-                                   std::size_t batch_limit) {
-  std::vector<std::vector<std::uint64_t>> locals_by_rank(st.map.num_ranks());
-  std::vector<std::vector<std::size_t>> pos_by_rank(st.map.num_ranks());
-  for (std::size_t i = 0; i < idxs.size(); ++i) {
+BatchPlan plan_chunks(ScratchArena& arena, const ArrayState<T>& st,
+                      std::span<const global_index> idxs,
+                      std::size_t view_start, std::size_t batch_limit,
+                      bool want_positions) {
+  BatchPlan plan;
+  const std::size_t n = idxs.size();
+  if (n == 0) return plan;
+  const std::size_t nranks = st.map.num_ranks();
+
+  auto ranks = arena.alloc_span<std::uint32_t>(n);
+  auto locals = arena.alloc_span<std::uint64_t>(n);
+  auto starts = arena.alloc_span<std::size_t>(nranks + 1);
+  std::memset(starts.data(), 0, starts.size_bytes());
+  for (std::size_t i = 0; i < n; ++i) {
     const Placement p = st.map.place(view_start + idxs[i]);
-    locals_by_rank[p.rank].push_back(p.local_index);
-    pos_by_rank[p.rank].push_back(i);
+    ranks[i] = static_cast<std::uint32_t>(p.rank);
+    locals[i] = p.local_index;
+    ++starts[p.rank];
   }
-  std::vector<ChunkPlan> chunks;
-  for (std::size_t r = 0; r < locals_by_rank.size(); ++r) {
-    auto& locals = locals_by_rank[r];
-    auto& positions = pos_by_rank[r];
-    for (std::size_t off = 0; off < locals.size(); off += batch_limit) {
-      const std::size_t n = std::min(batch_limit, locals.size() - off);
-      ChunkPlan chunk;
-      chunk.rank = r;
-      chunk.locals.assign(locals.begin() + off, locals.begin() + off + n);
-      chunk.positions.assign(positions.begin() + off,
-                             positions.begin() + off + n);
-      chunks.push_back(std::move(chunk));
+
+  // Counts -> bucket start offsets (exclusive prefix sum) + chunk count.
+  std::size_t nchunks = 0;
+  std::size_t run = 0;
+  for (std::size_t r = 0; r < nranks; ++r) {
+    const std::size_t c = starts[r];
+    starts[r] = run;
+    run += c;
+    nchunks += ceil_div(c, batch_limit);
+  }
+  starts[nranks] = run;
+
+  plan.locals_flat = arena.alloc_span<std::uint64_t>(n);
+  if (want_positions) plan.pos_flat = arena.alloc_span<std::size_t>(n);
+  plan.chunks = arena.alloc_span<ChunkRef>(nchunks);
+
+  std::size_t ci = 0;
+  for (std::size_t r = 0; r < nranks; ++r) {
+    const std::size_t end = starts[r + 1];
+    for (std::size_t off = starts[r]; off < end; off += batch_limit) {
+      plan.chunks[ci++] = ChunkRef{r, off, std::min(batch_limit, end - off)};
     }
   }
-  return chunks;
+
+  // Stable scatter: ascending caller position within each bucket, so fetch
+  // results come back in caller order per chunk.
+  auto cursor = arena.alloc_span<std::size_t>(nranks);
+  std::memcpy(cursor.data(), starts.data(), cursor.size_bytes());
+  if (want_positions) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t at = cursor[ranks[i]]++;
+      plan.locals_flat[at] = locals[i];
+      plan.pos_flat[at] = i;
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      plan.locals_flat[cursor[ranks[i]]++] = locals[i];
+    }
+  }
+  return plan;
 }
 
+/// Sentinel chunk offset: results map back 1:1 (single-chunk batches keep
+/// caller order by construction, so no position table is needed).
+inline constexpr std::size_t kIdentityScatter =
+    static_cast<std::size_t>(-1);
+
+/// Completion state shared by a batch's chunks.  Concurrent completions
+/// scatter into disjoint elements of `out` (each caller position belongs to
+/// exactly one chunk) and count down `remaining` — no lock; the release
+/// fetch_sub publishes every scatter to whoever observes zero.
 template <typename R>
 struct BatchGather {
-  std::mutex mu;
   std::vector<R> out;
-  std::size_t remaining = 0;
+  /// Caller positions, chunk-major (plan order); only populated for
+  /// multi-chunk fetch batches — the plan's own arrays die with the
+  /// dispatch frame, completions can outlive it.
+  std::vector<std::size_t> positions;
+  std::atomic<std::size_t> remaining{0};
   Promise<std::vector<R>> promise;
 };
 
+template <typename R>
+void complete_one(const std::shared_ptr<BatchGather<R>>& gather) {
+  if (gather->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    gather->promise.set_value(std::move(gather->out));
+  }
+}
+
 /// Completion-only gather (no results): counts chunks into a Future<Unit>.
 struct UnitGather {
-  std::mutex mu;
-  std::size_t remaining = 0;
+  std::atomic<std::size_t> remaining{0};
   Promise<Unit> promise;
 };
 
 inline void finish_unit(const std::shared_ptr<UnitGather>& gather) {
-  std::unique_lock lock(gather->mu);
-  if (--gather->remaining == 0) {
-    lock.unlock();
+  if (gather->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
     gather->promise.set_value(Unit{});
   }
 }
 
-/// Scatter one chunk's results into the gather at the chunk's positions and
-/// complete the promise on the last chunk.
+/// Scatter one chunk's results (borrowed reply view) into the gather.
+/// `pos_offset` indexes gather->positions, or kIdentityScatter for 1:1.
 template <typename R>
-void absorb_chunk(const std::shared_ptr<BatchGather<R>>& gather,
-                  const std::vector<std::size_t>& positions,
-                  std::vector<R>&& results, bool fetch) {
-  std::unique_lock lock(gather->mu);
-  if (fetch) {
-    for (std::size_t j = 0; j < positions.size(); ++j) {
-      gather->out[positions[j]] = std::move(results[j]);
+void scatter_chunk(const std::shared_ptr<BatchGather<R>>& gather,
+                   std::size_t pos_offset, std::span<const R> results) {
+  if (pos_offset == kIdentityScatter) {
+    for (std::size_t j = 0; j < results.size(); ++j) {
+      gather->out[j] = results[j];
     }
-  }
-  if (--gather->remaining == 0) {
-    auto out = std::move(gather->out);
-    lock.unlock();
-    gather->promise.set_value(std::move(out));
+  } else {
+    for (std::size_t j = 0; j < results.size(); ++j) {
+      gather->out[gather->positions[pos_offset + j]] = results[j];
+    }
   }
 }
 
@@ -111,30 +179,68 @@ Future<std::vector<T>> dispatch_op(const Darc<ArrayState<T>>& state,
   const PairMode pair = vals.size() <= 1 && idxs.size() != 1
                             ? PairMode::kManyIdxOneVal
                             : PairMode::kOneToOne;
-  auto chunks =
-      plan_chunks(st, idxs, view_start, st.world->config().batch_op_limit);
+  ScratchArena& arena = ScratchArena::local();
+  const std::uint64_t grows_before = arena.grow_events();
+  ArenaFrame frame(arena);
+  // Positions drive fetch-result scatter and one-to-one operand gather;
+  // a non-fetch many-one batch (the histogram hot path) needs neither.
+  const bool need_pos = fetch || pair == PairMode::kOneToOne;
+  auto plan = plan_chunks(arena, st, idxs, view_start,
+                          st.world->config().batch_op_limit, need_pos);
+  st.ops_batched->inc(idxs.size());
+
   auto gather = std::make_shared<BatchGather<T>>();
-  gather->remaining = chunks.size();
-  if (fetch) gather->out.resize(idxs.size());
-  if (chunks.empty()) {
+  gather->remaining.store(plan.chunks.size(), std::memory_order_relaxed);
+  if (plan.chunks.empty()) {
+    st.plan_allocs->inc(arena.grow_events() - grows_before);
     gather->promise.set_value({});
     return gather->promise.future();
+  }
+  if (fetch) gather->out.resize(idxs.size());
+  const bool multi = plan.chunks.size() > 1;
+  if (fetch && multi) {
+    // Completions may outlive this frame; park the position table on the
+    // gather before any send can trigger a progress-loop completion.
+    gather->positions.assign(plan.pos_flat.begin(), plan.pos_flat.end());
   }
   auto future = gather->promise.future();
 
   const std::size_t my_rank = st.my_rank();
-  for (auto& chunk : chunks) {
-    std::vector<T> chunk_vals;
-    if (pair == PairMode::kManyIdxOneVal) {
-      if (!vals.empty()) chunk_vals.push_back(vals[0]);
-    } else {
-      chunk_vals.reserve(chunk.positions.size());
-      for (auto p : chunk.positions) chunk_vals.push_back(vals[p]);
-    }
+  for (const ChunkRef& chunk : plan.chunks) {
+    const std::span<const std::uint64_t> locals =
+        plan.locals_flat.subspan(chunk.offset, chunk.len);
+    const std::span<const std::size_t> pos =
+        need_pos ? plan.pos_flat.subspan(chunk.offset, chunk.len)
+                 : std::span<const std::size_t>{};
     if (chunk.rank == my_rank) {
-      auto results = apply_batch<T>(st, op, fetch, pair, chunk.locals,
-                                    chunk_vals);
-      absorb_chunk(gather, chunk.positions, std::move(results), fetch);
+      // Owner == caller: apply in place.  Single-chunk batches sink fetch
+      // results straight into the output (identity scatter); multi-chunk
+      // ones stage in the arena and scatter by caller position.
+      T* sink = nullptr;
+      std::span<T> staged;
+      if (fetch) {
+        if (multi) {
+          staged = arena.alloc_span<T>(chunk.len);
+          sink = staged.data();
+        } else {
+          sink = gather->out.data();
+        }
+      }
+      if (pair == PairMode::kOneToOne && multi) {
+        auto ops = arena.alloc_span<T>(chunk.len);
+        for (std::size_t j = 0; j < chunk.len; ++j) ops[j] = vals[pos[j]];
+        apply_batch_sink<T>(st, op, fetch, pair, locals, ops, sink);
+      } else {
+        // Single chunk => pos is the identity, so one-to-one operands are
+        // already aligned with locals; many-one operands are shared.
+        apply_batch_sink<T>(st, op, fetch, pair, locals, vals, sink);
+      }
+      if (fetch && multi) {
+        for (std::size_t j = 0; j < chunk.len; ++j) {
+          gather->out[pos[j]] = staged[j];
+        }
+      }
+      complete_one(gather);
       continue;
     }
     ArrayOpAm<T> am;
@@ -142,20 +248,33 @@ Future<std::vector<T>> dispatch_op(const Darc<ArrayState<T>>& state,
     am.op = op;
     am.fetch = fetch ? 1 : 0;
     am.pair = pair;
-    am.locals = std::move(chunk.locals);
-    am.vals = std::move(chunk_vals);
+    am.locals = locals;
+    if (pair == PairMode::kOneToOne) {
+      am.vals_base = vals.data();
+      am.gather_pos = pos;
+    } else {
+      am.vals = vals;
+    }
+    const std::size_t val_count =
+        pair == PairMode::kOneToOne ? chunk.len : vals.size();
+    st.chunk_bytes_inline->inc(locals.size_bytes() + val_count * sizeof(T));
     st.world->engine().send_cb(
         st.team.world_pe(chunk.rank), std::move(am),
-        [gather, positions = std::move(chunk.positions),
-         fetch](std::vector<T> results) mutable {
-          absorb_chunk(gather, positions, std::move(results), fetch);
+        [gather, fetch,
+         pos_offset = multi ? chunk.offset : kIdentityScatter](ValSpan<T> r) {
+          if (fetch) scatter_chunk(gather, pos_offset, r.view);
+          complete_one(gather);
         });
   }
+  st.plan_allocs->inc(arena.grow_events() - grows_before);
   return future;
 }
 
 /// Dispatch the One Index - Many Values form: every operand applies (in
-/// order) to the single element at `idx`.
+/// order) to the single element at `idx`.  Chunks are contiguous slices of
+/// the caller's operand buffer, so no planner or staging is needed at all —
+/// operands serialize straight from the caller's memory and fetch results
+/// sink at a fixed offset.
 template <typename T>
 Future<std::vector<T>> dispatch_op_one_idx(const Darc<ArrayState<T>>& state,
                                            std::size_t view_start, OpCode op,
@@ -165,24 +284,27 @@ Future<std::vector<T>> dispatch_op_one_idx(const Darc<ArrayState<T>>& state,
   const Placement p = st.map.place(view_start + idx);
   const std::size_t limit = st.world->config().batch_op_limit;
   auto gather = std::make_shared<BatchGather<T>>();
-  gather->remaining = ceil_div(std::max<std::size_t>(vals.size(), 1), limit);
-  if (fetch) gather->out.resize(vals.size());
+  gather->remaining.store(ceil_div(std::max<std::size_t>(vals.size(), 1),
+                                   limit),
+                          std::memory_order_relaxed);
   if (vals.empty()) {
     gather->promise.set_value({});
     return gather->promise.future();
   }
+  if (fetch) gather->out.resize(vals.size());
   auto future = gather->promise.future();
+  st.ops_batched->inc(vals.size());
   const std::size_t my_rank = st.my_rank();
-  std::vector<std::uint64_t> one_local{p.local_index};
+  const std::uint64_t one_local[1] = {p.local_index};
   for (std::size_t off = 0; off < vals.size(); off += limit) {
     const std::size_t n = std::min(limit, vals.size() - off);
-    std::vector<std::size_t> positions(n);
-    for (std::size_t j = 0; j < n; ++j) positions[j] = off + j;
-    std::vector<T> chunk_vals(vals.begin() + off, vals.begin() + off + n);
+    const std::span<const T> chunk_vals = vals.subspan(off, n);
     if (p.rank == my_rank) {
-      auto results = apply_batch<T>(st, op, fetch, PairMode::kOneIdxManyVals,
-                                    one_local, chunk_vals);
-      absorb_chunk(gather, positions, std::move(results), fetch);
+      apply_batch_sink<T>(st, op, fetch, PairMode::kOneIdxManyVals,
+                          std::span<const std::uint64_t>{one_local, 1},
+                          chunk_vals,
+                          fetch ? gather->out.data() + off : nullptr);
+      complete_one(gather);
       continue;
     }
     ArrayOpAm<T> am;
@@ -190,77 +312,102 @@ Future<std::vector<T>> dispatch_op_one_idx(const Darc<ArrayState<T>>& state,
     am.op = op;
     am.fetch = fetch ? 1 : 0;
     am.pair = PairMode::kOneIdxManyVals;
-    am.locals = one_local;
-    am.vals = std::move(chunk_vals);
+    am.locals = std::span<const std::uint64_t>{one_local, 1};
+    am.vals = chunk_vals;
+    st.chunk_bytes_inline->inc(sizeof(one_local) + chunk_vals.size_bytes());
     st.world->engine().send_cb(
         st.team.world_pe(p.rank), std::move(am),
-        [gather, positions = std::move(positions),
-         fetch](std::vector<T> results) mutable {
-          absorb_chunk(gather, positions, std::move(results), fetch);
+        [gather, off, fetch](ValSpan<T> r) {
+          if (fetch) {
+            for (std::size_t j = 0; j < r.view.size(); ++j) {
+              gather->out[off + j] = r.view[j];
+            }
+          }
+          complete_one(gather);
         });
   }
   return future;
 }
 
 /// Dispatch a compare-exchange batch (one shared `expected`, per-index
-/// `desired` or one shared desired value).
+/// `desired` or one shared desired value).  Shares the arena planner with
+/// dispatch_op; results always come back (cex is inherently fetching).
 template <typename T>
 Future<std::vector<CexResult<T>>> dispatch_cex(
     const Darc<ArrayState<T>>& state, std::size_t view_start, T expected,
     std::span<const global_index> idxs, std::span<const T> desired) {
   ArrayState<T>& st = *state;
-  auto chunks =
-      plan_chunks(st, idxs, view_start, st.world->config().batch_op_limit);
+  ScratchArena& arena = ScratchArena::local();
+  const std::uint64_t grows_before = arena.grow_events();
+  ArenaFrame frame(arena);
+  auto plan = plan_chunks(arena, st, idxs, view_start,
+                          st.world->config().batch_op_limit,
+                          /*want_positions=*/true);
+  st.ops_batched->inc(idxs.size());
+
   auto gather = std::make_shared<BatchGather<CexResult<T>>>();
-  gather->remaining = chunks.size();
-  gather->out.resize(idxs.size());
-  if (chunks.empty()) {
+  gather->remaining.store(plan.chunks.size(), std::memory_order_relaxed);
+  if (plan.chunks.empty()) {
+    st.plan_allocs->inc(arena.grow_events() - grows_before);
     gather->promise.set_value({});
     return gather->promise.future();
+  }
+  gather->out.resize(idxs.size());
+  const bool multi = plan.chunks.size() > 1;
+  if (multi) {
+    gather->positions.assign(plan.pos_flat.begin(), plan.pos_flat.end());
   }
   auto future = gather->promise.future();
 
   const bool shared_desired = desired.size() == 1 && idxs.size() != 1;
   const std::size_t my_rank = st.my_rank();
-  for (auto& chunk : chunks) {
-    std::vector<T> chunk_desired;
-    if (shared_desired) {
-      chunk_desired.push_back(desired[0]);
-    } else {
-      chunk_desired.reserve(chunk.positions.size());
-      for (auto p : chunk.positions) chunk_desired.push_back(desired[p]);
-    }
+  for (const ChunkRef& chunk : plan.chunks) {
+    const std::span<const std::uint64_t> locals =
+        plan.locals_flat.subspan(chunk.offset, chunk.len);
+    const std::span<const std::size_t> pos =
+        plan.pos_flat.subspan(chunk.offset, chunk.len);
     if (chunk.rank == my_rank) {
-      std::vector<CexResult<T>> results;
-      results.reserve(chunk.locals.size());
-      for (std::size_t j = 0; j < chunk.locals.size(); ++j) {
-        const T want = shared_desired ? chunk_desired[0] : chunk_desired[j];
-        results.push_back(apply_cex<T>(st, chunk.locals[j], expected, want));
+      for (std::size_t j = 0; j < chunk.len; ++j) {
+        const T want = shared_desired ? desired[0] : desired[pos[j]];
+        gather->out[multi ? pos[j] : j] =
+            apply_cex<T>(st, locals[j], expected, want);
       }
-      absorb_chunk(gather, chunk.positions, std::move(results), true);
+      complete_one(gather);
       continue;
     }
     ArrayCexAm<T> am;
     am.state = state;
-    am.locals = std::move(chunk.locals);
     am.expected = expected;
-    am.desired = std::move(chunk_desired);
+    am.locals = locals;
+    if (shared_desired) {
+      am.desired = desired;
+    } else {
+      am.desired_base = desired.data();
+      am.gather_pos = pos;
+    }
+    const std::size_t want_count = shared_desired ? 1 : chunk.len;
+    st.chunk_bytes_inline->inc(locals.size_bytes() + want_count * sizeof(T));
     st.world->engine().send_cb(
         st.team.world_pe(chunk.rank), std::move(am),
-        [gather, positions = std::move(chunk.positions)](
-            std::vector<CexResult<T>> results) mutable {
-          absorb_chunk(gather, positions, std::move(results), true);
+        [gather, pos_offset = multi ? chunk.offset : kIdentityScatter](
+            ValSpan<CexResult<T>> r) {
+          scatter_chunk(gather, pos_offset, r.view);
+          complete_one(gather);
         });
   }
+  st.plan_allocs->inc(arena.grow_events() - grows_before);
   return future;
 }
 
 /// Contiguous owner ranges of the global span [start, start+len), in order.
+/// For cyclic distributions a "range" is a strided run: local indices are
+/// consecutive on the owner while caller offsets advance by caller_stride.
 struct OwnedRange {
   std::size_t rank;
   std::uint64_t local_start;
   std::size_t len;
-  std::size_t caller_offset;  ///< offset within the caller's buffer
+  std::size_t caller_offset;   ///< offset within the caller's buffer
+  std::size_t caller_stride;   ///< 1 for block; num_ranks for cyclic
 };
 
 template <typename T>
@@ -275,25 +422,44 @@ std::vector<OwnedRange> plan_ranges(const ArrayState<T>& st,
       const std::size_t owner_room =
           st.map.local_len(p.rank) - p.local_index;
       const std::size_t n = std::min(owner_room, len - off);
-      ranges.push_back(OwnedRange{p.rank, p.local_index, n, off});
+      ranges.push_back(OwnedRange{p.rank, p.local_index, n, off, 1});
       off += n;
     }
     return ranges;
   }
-  // Cyclic: each owner's elements are strided; emit per-element ranges
-  // grouped by owner (ascending caller offset within each group).
-  std::vector<std::vector<std::pair<std::uint64_t, std::size_t>>> by_rank(
-      st.map.num_ranks());
-  for (std::size_t off = 0; off < len; ++off) {
-    const Placement p = st.map.place(start + off);
-    by_rank[p.rank].emplace_back(p.local_index, off);
-  }
-  for (std::size_t r = 0; r < by_rank.size(); ++r) {
-    for (auto& [local, off] : by_rank[r]) {
-      ranges.push_back(OwnedRange{r, local, 1, off});
-    }
+  // Cyclic: rank place(start + k).rank owns caller offsets k, k + n,
+  // k + 2n, ... — consecutive local slots on the owner — so the whole span
+  // coalesces into at most num_ranks strided runs, one per starting offset.
+  const std::size_t n = st.map.num_ranks();
+  for (std::size_t k = 0; k < n && k < len; ++k) {
+    const Placement p = st.map.place(start + k);
+    const std::size_t count = 1 + (len - 1 - k) / n;
+    ranges.push_back(OwnedRange{p.rank, p.local_index, count, k, n});
   }
   return ranges;
+}
+
+/// A contiguous view of the caller elements a range covers: the buffer
+/// slice itself for unit-stride runs, an arena-staged gather otherwise
+/// (valid until the enclosing frame rewinds).
+template <typename T>
+std::span<const T> contiguous_slice(ScratchArena& arena,
+                                    std::span<const T> data,
+                                    const OwnedRange& r) {
+  if (r.caller_stride <= 1) return data.subspan(r.caller_offset, r.len);
+  auto staged = arena.alloc_span<T>(r.len);
+  for (std::size_t j = 0; j < r.len; ++j) {
+    staged[j] = data[r.caller_offset + j * r.caller_stride];
+  }
+  return staged;
+}
+
+/// Scatter a range's elements back into the caller's buffer.
+template <typename T>
+void scatter_range(T* out, const OwnedRange& r, std::span<const T> piece) {
+  for (std::size_t j = 0; j < piece.size(); ++j) {
+    out[r.caller_offset + j * r.caller_stride] = piece[j];
+  }
 }
 
 }  // namespace array_detail

@@ -180,13 +180,17 @@ struct RoundAllocs {
 
 constexpr std::uint64_t kRoundSalt = 0x100000001ULL;
 
+constexpr std::size_t kSoakArrLen = 512;
+
 // One deterministic soak round on one PE. `atoms_off` is a region of
 // npes u64 words in every PE's arena (fabric atomics only); `scratch_off`
 // is a region of npes 64-byte columns (PE p only ever puts/gets column p,
-// so plain-memcpy RDMA never overlaps between writers).
+// so plain-memcpy RDMA never overlaps between writers); `arr_contrib_off`
+// is one u64 slot per PE announcing this round's batched-array total.
 // Returns the number of fabric-atomic increments this PE performed.
 std::uint64_t soak_round(World& world, std::size_t round, const Options& opt,
-                         std::size_t atoms_off, std::size_t scratch_off) {
+                         std::size_t atoms_off, std::size_t scratch_off,
+                         std::size_t arr_contrib_off) {
   const pe_id me = world.my_pe();
   const std::size_t npes = world.num_pes();
   auto rng = pe_rng(opt.seed, me * kRoundSalt + round);
@@ -195,8 +199,16 @@ std::uint64_t soak_round(World& world, std::size_t round, const Options& opt,
   std::uint64_t atomic_adds = 0;
   {
     // Collective per-round Darc; dropped (and therefore globally destroyed)
-    // before this round's quiesce check.
+    // before this round's quiesce check.  The per-round batched-op target
+    // alternates distribution so both planner shapes (contiguous block
+    // ranges, strided cyclic buckets) soak every round pairing.
     auto shard = world.new_darc(ShardState{});
+    auto arr = AtomicArray<std::uint64_t>::create(
+        world, kSoakArrLen,
+        round % 2 == 0 ? Distribution::kBlock : Distribution::kCyclic);
+    arr.fill(0);
+    world.barrier();
+    std::uint64_t array_adds = 0;
     RoundAllocs allocs;
 
     std::vector<std::pair<Future<std::uint64_t>, std::uint64_t>> checked;
@@ -212,7 +224,7 @@ std::uint64_t soak_round(World& world, std::size_t round, const Options& opt,
     for (std::size_t op = 0; op < opt.ops; ++op) {
       const std::uint64_t r = rng.next();
       const pe_id dst = static_cast<pe_id>(rng.next() % npes);
-      switch (r % 10) {
+      switch (r % 12) {
         case 0: {  // small checked ping (in-place aggregated record)
           const std::uint64_t x = rng.next();
           checked.emplace_back(world.exec_am_pe(dst, PingAm{x}), mix64(x));
@@ -302,6 +314,26 @@ std::uint64_t soak_round(World& world, std::size_t round, const Options& opt,
           checked.emplace_back(world.exec_am_pe(me, PingAm{x}), mix64(x));
           break;
         }
+        case 10: {  // batched element ops: arena planner + in-lane chunks
+          const std::size_t n = 16 + rng.next() % 64;
+          std::vector<global_index> idxs(n);
+          for (auto& i : idxs) i = rng.next() % kSoakArrLen;
+          const std::uint64_t v = 1 + rng.next() % 8;
+          world.block_on(arr.batch_add(idxs, v));
+          array_adds += n * v;
+          break;
+        }
+        case 11: {  // fetching variant: lock-free multi-chunk gather
+          const std::size_t n = 16 + rng.next() % 64;
+          std::vector<global_index> idxs(n);
+          for (auto& i : idxs) i = rng.next() % kSoakArrLen;
+          const std::uint64_t v = 1 + rng.next() % 8;
+          auto got = world.block_on(arr.batch_fetch_add(idxs, v));
+          SOAK_CHECK(got.size() == n, "batch fetch size", got.size(), n, me,
+                     round);
+          array_adds += n * v;
+          break;
+        }
         default: {  // periodic settle: bound outstanding work mid-round
           if (checked.size() > 32) drain_checked();
           if (r % 50 == 9) world.wait_all();
@@ -315,10 +347,23 @@ std::uint64_t soak_round(World& world, std::size_t round, const Options& opt,
     // Drain plain pool tasks (wait_all only tracks AMs).
     while (world.pool().pending() > 0) std::this_thread::yield();
 
+    // Batched-op conservation: the array's tree-reduced sum must equal the
+    // announced total of every PE's batch_add/batch_fetch_add stream.
+    world.lamellae().atomic_store_u64(0, arr_contrib_off + 8 * me, array_adds);
+    world.barrier();
+    std::uint64_t announced = 0;
+    for (pe_id p = 0; p < npes; ++p) {
+      announced += world.lamellae().atomic_load_u64(0, arr_contrib_off + 8 * p);
+    }
+    const std::uint64_t observed = world.block_on(arr.sum());
+    SOAK_CHECK(observed == announced, "batched-op conservation", observed,
+               announced, me, round);
+    world.barrier();
+
     std::size_t off = 0;
     while (allocs.pop(off)) world.lamellae().free_onesided(off);
-    // `shard` handle drops here -> the Darc protocol must destroy every
-    // instance before quiescence below.
+    // `shard` and `arr` handles drop here -> the Darc protocol must destroy
+    // every instance before quiescence below.
   }
   return atomic_adds;
 }
@@ -376,6 +421,8 @@ void soak_main(World& world, const Options& opt) {
       world.lamellae().alloc_symmetric(64 * npes, 64);
   const std::size_t contrib_off =
       world.lamellae().alloc_symmetric(8 * npes, 8);
+  const std::size_t arr_contrib_off =
+      world.lamellae().alloc_symmetric(8 * npes, 8);
   const std::size_t flag_off = world.lamellae().alloc_symmetric(8, 8);
 
   std::size_t heap_used_baseline = 0;
@@ -387,9 +434,11 @@ void soak_main(World& world, const Options& opt) {
 
   const auto t0 = std::chrono::steady_clock::now();
   std::uint64_t my_total_adds = 0;
+  std::uint64_t plan_allocs_warm = 0;
   std::size_t round = 0;
   for (;;) {
-    my_total_adds += soak_round(world, round, opt, atoms_off, scratch_off);
+    my_total_adds += soak_round(world, round, opt, atoms_off, scratch_off,
+                                arr_contrib_off);
     ++round;
 
     // Global quiescence, then invariant checks on every PE.
@@ -397,6 +446,18 @@ void soak_main(World& world, const Options& opt) {
     }
     check_quiesced_invariants(world, round, heap_used_baseline,
                               heap_blocks_baseline);
+
+    // Steady-state allocation discipline: the batch planner's scratch arena
+    // warms up during the first two rounds and must never grow again —
+    // array.plan_allocs frozen from round 2 onward (DESIGN.md §9).
+    const std::uint64_t plan_allocs =
+        world.metrics().counter("array.plan_allocs").get();
+    if (round == 2) {
+      plan_allocs_warm = plan_allocs;
+    } else if (round > 2) {
+      SOAK_CHECK(plan_allocs == plan_allocs_warm, "plan_allocs steady state",
+                 plan_allocs, plan_allocs_warm, me, round);
+    }
 
     // Fabric-atomic conservation: the sum of all counter words across all
     // PEs must equal the sum of every PE's announced increments.
@@ -435,6 +496,7 @@ void soak_main(World& world, const Options& opt) {
                  round, npes, static_cast<unsigned long long>(opt.seed));
   }
   world.lamellae().free_symmetric(flag_off);
+  world.lamellae().free_symmetric(arr_contrib_off);
   world.lamellae().free_symmetric(contrib_off);
   world.lamellae().free_symmetric(scratch_off);
   world.lamellae().free_symmetric(atoms_off);
