@@ -1,0 +1,29 @@
+// Shared helpers for the figure benchmark drivers.
+#pragma once
+
+#include <cctype>
+#include <cstdlib>
+#include <string>
+
+namespace lamellar::bench {
+
+/// Backend/impl filter: LAMELLAR_FIG_IMPL unset or empty selects every
+/// impl; otherwise an impl runs only when the variable is a
+/// case-insensitive substring of its display name (e.g. "lamellar am",
+/// "am dart opt").  Lets CI trace one backend without the later backends
+/// of the sweep overwriting the trace files.
+inline bool impl_selected(const char* name) {
+  const char* want = std::getenv("LAMELLAR_FIG_IMPL");
+  if (want == nullptr || *want == '\0') return true;
+  auto lower = [](const char* s) {
+    std::string out;
+    for (; *s != '\0'; ++s) {
+      out += static_cast<char>(
+          std::tolower(static_cast<unsigned char>(*s)));
+    }
+    return out;
+  };
+  return lower(name).find(lower(want)) != std::string::npos;
+}
+
+}  // namespace lamellar::bench

@@ -71,11 +71,28 @@ int main() {
   cfg.threads_per_pe = 1;
   cfg.symmetric_heap_bytes = 256ULL * 1024 * 1024;
   obs::MetricsSnapshot snap;
+  // Per-abstraction metric attribution (PE0): each impl's sections are
+  // interleaved across transfer sizes, so boundary snapshots are deltaed
+  // per section and accumulated per impl.
+  constexpr std::size_t kImpls = 7;
+  const char* impl_names[kImpls] = {"rofi",      "memregion", "unchecked",
+                                    "unsafe_arr", "locallock", "atomic",
+                                    "am"};
+  obs::MetricsSnapshot per_impl[kImpls];
+  obs::MetricsSnapshot boundary;
   run_world(
       2,
       [&](World& world) {
         const auto theoretical =
             world.lamellae().params().link_bytes_per_ns * 1000.0;
+        const auto attribute = [&](std::size_t k) {
+          if (world.my_pe() != 0) return;
+          obs::MetricsSnapshot cur = world.metrics_snapshot();
+          obs::snapshot_accumulate(per_impl[k],
+                                   obs::snapshot_delta(boundary, cur));
+          boundary = std::move(cur);
+        };
+        if (world.my_pe() == 0) boundary = world.metrics_snapshot();
         for (auto size : sizes) {
           const std::size_t n = transfers_for(size, full);
           Row row{};
@@ -102,6 +119,7 @@ int main() {
             const sim_nanos t1 = world.time_ns();
             row.rofi = static_cast<double>(size) * static_cast<double>(n) /
                        static_cast<double>(t1 - t0) * 1000.0;
+            attribute(0);
           }
 
           // MemRegion: light wrapper over the fabric call (adds the runtime
@@ -123,6 +141,7 @@ int main() {
             row.memregion = static_cast<double>(size) *
                             static_cast<double>(n) /
                             static_cast<double>(t1 - t0) * 1000.0;
+            attribute(1);
           }
 
           // Array paths: data lands in PE1's slab (block distribution).
@@ -152,6 +171,7 @@ int main() {
             row.unchecked = static_cast<double>(size) *
                             static_cast<double>(n) /
                             static_cast<double>(t1 - t0) * 1000.0;
+            attribute(2);
 
             world.barrier();
             t0 = world.time_ns();
@@ -165,6 +185,7 @@ int main() {
             row.unsafe_arr = static_cast<double>(size) *
                              static_cast<double>(n) /
                              static_cast<double>(t1 - t0) * 1000.0;
+            attribute(3);
           }
           {
             auto arr = LocalLockArray<std::uint64_t>::create(
@@ -183,6 +204,7 @@ int main() {
             row.locallock = static_cast<double>(size) *
                             static_cast<double>(n) /
                             static_cast<double>(t1 - t0) * 1000.0;
+            attribute(4);
           }
           {
             auto arr = AtomicArray<std::uint64_t>::create(
@@ -200,6 +222,7 @@ int main() {
             const sim_nanos t1 = world.time_ns();
             row.atomic = static_cast<double>(size) * static_cast<double>(n) /
                          static_cast<double>(t1 - t0) * 1000.0;
+            attribute(5);
           }
           {
             std::vector<std::uint8_t> payload(size, 6);
@@ -215,6 +238,7 @@ int main() {
             const sim_nanos t1 = world.time_ns();
             row.am = static_cast<double>(size) * static_cast<double>(n) /
                      static_cast<double>(t1 - t0) * 1000.0;
+            attribute(6);
           }
 
           if (world.my_pe() == 0) rows.push_back(row);
@@ -238,6 +262,14 @@ int main() {
       },
       cfg, paper_perf_params(), PeMapping{1});
   if (cfg.metrics_mode == MetricsMode::kJson) {
+    // One line per abstraction path (fig3/4/5-style), plus the whole-run
+    // line downstream tooling already consumes.
+    for (std::size_t k = 0; k < kImpls; ++k) {
+      std::printf(
+          "%s\n",
+          obs::bench_json_line("fig2_bandwidth", impl_names[k], per_impl[k])
+              .c_str());
+    }
     std::printf("%s\n",
                 obs::bench_json_line("fig2_bandwidth", "all", snap).c_str());
   }

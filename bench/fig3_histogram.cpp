@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "bale/histogram.hpp"
+#include "bench_util.hpp"
 #include "lamellar.hpp"
 #include "obs/report.hpp"
 #include "sim/sim_kernels.hpp"
@@ -24,6 +25,7 @@ int main() {
   std::printf("# Fig.3 (a): live in-process histogram, 4 PEs, virtual time\n");
   std::printf("%-16s %12s %10s\n", "impl", "MUPS", "verified");
   for (auto backend : backends) {
+    if (!bench::impl_selected(backend_name(backend))) continue;
     double mups = 0;
     bool ok = false;
     obs::MetricsSnapshot snap;

@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "bale/indexgather.hpp"
+#include "bench_util.hpp"
 #include "lamellar.hpp"
 #include "obs/report.hpp"
 #include "sim/sim_kernels.hpp"
@@ -26,6 +27,7 @@ int main() {
       "# Fig.4 (a): live in-process indexgather, 4 PEs, virtual time\n");
   std::printf("%-16s %12s %10s\n", "impl", "MUPS", "verified");
   for (auto backend : backends) {
+    if (!bench::impl_selected(backend_name(backend))) continue;
     double mups = 0;
     bool ok = false;
     obs::MetricsSnapshot snap;

@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "bale/randperm.hpp"
+#include "bench_util.hpp"
 #include "lamellar.hpp"
 #include "obs/report.hpp"
 #include "sim/sim_kernels.hpp"
@@ -23,6 +24,7 @@ int main() {
   std::printf("# Fig.5 (a): live in-process randperm, 4 PEs, virtual time\n");
   std::printf("%-16s %14s %10s\n", "impl", "time (ms)", "verified");
   for (auto impl : impls) {
+    if (!bench::impl_selected(randperm_impl_name(impl))) continue;
     double ms = 0;
     bool ok = false;
     obs::MetricsSnapshot snap;

@@ -80,6 +80,12 @@ RuntimeConfig RuntimeConfig::from_env() {
   cfg.trace_file = env_str("LAMELLAR_TRACE_FILE", cfg.trace_file);
   cfg.trace_ring_capacity =
       env_size("LAMELLAR_TRACE_CAPACITY", cfg.trace_ring_capacity);
+  cfg.trace_sample = env_u64("LAMELLAR_TRACE_SAMPLE", cfg.trace_sample);
+  cfg.trace_per_pe =
+      env_u64("LAMELLAR_TRACE_PER_PE", cfg.trace_per_pe ? 1 : 0) != 0;
+  cfg.metrics_interval_ms =
+      env_u64("LAMELLAR_METRICS_INTERVAL_MS", cfg.metrics_interval_ms);
+  cfg.metrics_file = env_str("LAMELLAR_METRICS_FILE", cfg.metrics_file);
   return cfg;
 }
 

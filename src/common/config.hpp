@@ -64,6 +64,30 @@ struct RuntimeConfig {
   /// (env: LAMELLAR_TRACE_CAPACITY; default 65536).
   std::size_t trace_ring_capacity = 1 << 16;
 
+  /// Causal AM tracing sample rate: 0 disables (default); N samples one in
+  /// every N remote request ids.  Sampled requests carry a 16-byte trace
+  /// extension on the wire, populate the am.stage_* latency histograms, and
+  /// emit Chrome flow events when the trace collector is on
+  /// (env: LAMELLAR_TRACE_SAMPLE).
+  std::uint64_t trace_sample = 0;
+
+  /// When true and a trace file is configured, write one trace file per PE
+  /// ("trace.json" -> "trace.pe0.json", ...) instead of one combined file;
+  /// tools/trace_stitch.py merges and verifies them
+  /// (env: LAMELLAR_TRACE_PER_PE=1; default off).
+  bool trace_per_pe = false;
+
+  /// Background telemetry sampling interval in milliseconds: 0 disables
+  /// (default); otherwise a low-rate sampler thread appends one JSONL line
+  /// per PE per tick — counter deltas plus gauge levels — giving a
+  /// time-series view of steady-state behaviour
+  /// (env: LAMELLAR_METRICS_INTERVAL_MS).
+  std::uint64_t metrics_interval_ms = 0;
+
+  /// Destination for telemetry JSONL lines; empty means stderr
+  /// (env: LAMELLAR_METRICS_FILE).
+  std::string metrics_file;
+
   /// Load overrides from LAMELLAR_* environment variables.
   static RuntimeConfig from_env();
 };

@@ -28,8 +28,9 @@ AmEngine::AmEngine(Lamellae& lamellae, ThreadPool& pool,
     : lamellae_(lamellae),
       pool_(pool),
       cfg_(cfg),
-      outgoing_(lamellae, cfg.agg_threshold_bytes),
-      tracer_(tracer) {
+      outgoing_(lamellae, cfg.agg_threshold_bytes, tracer),
+      tracer_(tracer),
+      trace_sample_(cfg.trace_sample) {
   obs::MetricsRegistry& reg = lamellae.metrics();
   am_sent_remote_ = &reg.counter("am.sent_remote");
   am_sent_local_ = &reg.counter("am.sent_local");
@@ -40,6 +41,11 @@ AmEngine::AmEngine(Lamellae& lamellae, ThreadPool& pool,
   bytes_copied_ = &reg.counter("am.bytes_copied");
   idle_flushes_ = &reg.counter("am.idle_flushes");
   reply_latency_ns_ = &reg.histogram("am.reply_latency_ns");
+  stage_flight_ns_ = &reg.histogram("am.stage_flight_ns");
+  stage_exec_ns_ = &reg.histogram("am.stage_exec_ns");
+  stage_reply_complete_ns_ = &reg.histogram("am.stage_reply_complete_ns");
+  spans_opened_ = &reg.counter("trace.spans_opened");
+  spans_closed_ = &reg.counter("trace.spans_closed");
 }
 
 void AmEngine::register_completer(request_id rid, Completer completer) {
@@ -89,6 +95,20 @@ void AmEngine::dispatch_buffer(ByteBuffer buffer, pe_id src) {
     ++records;
     if (env.type == kReplyType) {
       replies_received_->inc();
+      if (env.traced()) {
+        // The reply's wire ts is the executing PE's reply-inject time; the
+        // difference to our arrival clock is the reply->complete stage.
+        // Clamped at zero: per-PE virtual clocks are not globally ordered.
+        const sim_nanos now = lamellae_.clock().now();
+        const auto sent = static_cast<sim_nanos>(env.trace_ts);
+        const sim_nanos dur = now >= sent ? now - sent : 0;
+        stage_reply_complete_ns_->record(static_cast<std::uint64_t>(dur));
+        spans_closed_->inc();
+        if (tracer_ != nullptr && tracer_->enabled()) {
+          tracer_->record({"am_complete", "am", my_pe(), now, 0, 'f',
+                           static_cast<std::uint64_t>(dur), env.trace_span});
+        }
+      }
       Completer completer = take_completer(env.req_id);
       // Deserialize the return value straight from the inbox buffer; the
       // borrowed view only needs to outlive this synchronous call.  Span
@@ -99,8 +119,20 @@ void AmEngine::dispatch_buffer(ByteBuffer buffer, pe_id src) {
       completer(de);
       continue;
     }
-    AmRegistry::instance().handler(env.type)(*this, src, env.req_id, env.flags,
-                                             payload, batch);
+    if (env.traced()) {
+      // The request's wire ts was patched with the origin's flush time when
+      // its aggregation buffer departed; arrival minus that is the flight
+      // stage (clamped: per-PE virtual clocks are not globally ordered).
+      const sim_nanos now = lamellae_.clock().now();
+      const auto flushed = static_cast<sim_nanos>(env.trace_ts);
+      const sim_nanos dur = now >= flushed ? now - flushed : 0;
+      stage_flight_ns_->record(static_cast<std::uint64_t>(dur));
+      if (tracer_ != nullptr && tracer_->enabled()) {
+        tracer_->record({"am_recv", "am", my_pe(), now, 0, 't',
+                         static_cast<std::uint64_t>(dur), env.trace_span});
+      }
+    }
+    AmRegistry::instance().handler(env.type)(*this, src, env, payload, batch);
   }
   if (batch.hold) {
     // Some deferred task borrows payload views: park the buffer in the

@@ -159,6 +159,18 @@ class AmEngine {
         next_request_id_.fetch_add(1, std::memory_order_relaxed);
     am_sent_remote_->inc();
     const sim_nanos sent_at = lamellae_.clock().now();
+    // Causal trace sampling: one in every trace_sample_ request ids carries
+    // a 16-byte wire extension and opens a span that the reply closes
+    // (spans_opened == spans_closed at quiesce).  Only replied-to sends are
+    // sampled — a fire-and-forget span would never close.
+    std::uint64_t span = 0;
+    if (trace_sample_ != 0 && rid % trace_sample_ == 0) {
+      span = make_trace_span(my_pe(), rid);
+      spans_opened_->inc();
+      if (tracer_ != nullptr && tracer_->enabled()) {
+        tracer_->record({"am_send", "am", my_pe(), sent_at, 0, 's', rid, span});
+      }
+    }
     register_completer(
         rid, [this, sent_at, cb = std::move(on_result)](Deserializer& de) mutable {
           const sim_nanos now = lamellae_.clock().now();
@@ -168,7 +180,7 @@ class AmEngine {
           cb(std::move(r));
           completed_.fetch_add(1, std::memory_order_relaxed);
         });
-    write_record_inplace(dst, AmTypeId<Am>::id, kWantsReply, rid, am);
+    write_record_inplace(dst, AmTypeId<Am>::id, kWantsReply, rid, am, span);
   }
 
   /// Fire-and-forget: launch `am` on `dst` with no reply record, no
@@ -190,10 +202,14 @@ class AmEngine {
   }
 
   /// Send a reply for request `rid` back to `dst` (used by executors).
+  /// A non-zero `trace_span` (propagated from a sampled request's envelope)
+  /// marks the reply traced; its wire ts is the reply-inject time, from
+  /// which the origin computes the reply->complete stage.
   template <typename R>
-  void send_reply(pe_id dst, request_id rid, const R& value) {
+  void send_reply(pe_id dst, request_id rid, const R& value,
+                  std::uint64_t trace_span = 0) {
     replies_sent_->inc();
-    write_record_inplace(dst, kReplyType, 0, rid, value);
+    write_record_inplace(dst, kReplyType, 0, rid, value, trace_span);
   }
 
   // ---- progress / waiting ----
@@ -242,6 +258,19 @@ class AmEngine {
   /// Called by AmExecutor when a remotely launched AM finishes exec().
   void note_am_executed() { am_executed_->inc(); }
 
+  /// Called by AmExecutor around exec() of a trace-sampled AM: records the
+  /// exec-stage latency histogram and emits the exec slice + flow step.
+  void note_traced_exec(std::uint64_t span, sim_nanos start, sim_nanos end) {
+    const sim_nanos dur = end >= start ? end - start : 0;
+    stage_exec_ns_->record(static_cast<std::uint64_t>(dur));
+    if (tracer_ != nullptr && tracer_->enabled()) {
+      tracer_->record({"am_exec", "am", my_pe(), start, dur, 'X',
+                       static_cast<std::uint64_t>(dur)});
+      tracer_->record({"am_exec", "am", my_pe(), end, 0, 't',
+                       static_cast<std::uint64_t>(dur), span});
+    }
+  }
+
   /// Invoke exec() mapping void to Unit.
   template <typename Am>
   static am_return_t<Am> invoke_exec(Am& am, AmContext& ctx) {
@@ -261,10 +290,17 @@ class AmEngine {
   /// copy a steady-state remote AM performs.  The payload length is patched
   /// into the header after serialization; records at or above the
   /// aggregation threshold leave immediately (large-record bypass).
+  ///
+  /// A non-zero `trace_span` adds the 16-byte wire trace extension.  For
+  /// requests the ts field is registered with the lane so it is patched
+  /// with the buffer's departure time; replies keep their inject time (the
+  /// value written here), per the wire.hpp contract.
   template <typename T>
   void write_record_inplace(pe_id dst, am_type_id type, std::uint32_t flags,
-                            request_id rid, const T& value) {
+                            request_id rid, const T& value,
+                            std::uint64_t trace_span = 0) {
     const auto progress = [this] { poll_inbox(); };
+    if (trace_span != 0) flags |= kTraced;
     auto w = outgoing_.begin_record(dst);
     ByteBuffer& rec = w.buffer();
     const std::size_t start = w.record_start();
@@ -272,6 +308,17 @@ class AmEngine {
     rec.write_pod<std::uint32_t>(flags);
     rec.write_pod<std::uint64_t>(rid);
     rec.write_pod<std::uint64_t>(0);  // payload length, patched below
+    std::size_t ext_bytes = 0;
+    if (trace_span != 0) {
+      rec.write_pod<std::uint64_t>(trace_span);
+      rec.write_pod<std::uint64_t>(
+          static_cast<std::uint64_t>(lamellae_.clock().now()));
+      ext_bytes = kTraceExtBytes;
+      if (type != kReplyType) {
+        w.note_trace(trace_span,
+                     start + kRecordHeaderBytes + sizeof(std::uint64_t));
+      }
+    }
     {
       Serializer ser(rec);
       ScopedWorld scope(world_);
@@ -280,7 +327,7 @@ class AmEngine {
     const std::size_t record_bytes = rec.size() - start;
     rec.patch_pod<std::uint64_t>(
         start + kRecordHeaderBytes - sizeof(std::uint64_t),
-        record_bytes - kRecordHeaderBytes);
+        record_bytes - kRecordHeaderBytes - ext_bytes);
     bytes_copied_->inc(record_bytes);
     charge_serialize(record_bytes);
     outgoing_.commit_record(w, progress);
@@ -315,6 +362,15 @@ class AmEngine {
   obs::Counter* idle_flushes_;
   obs::Histogram* reply_latency_ns_;
 
+  // Causal-trace sampling (tentpole, ISSUE 6): per-stage latency histograms
+  // and the open/close span accounting checked at quiesce.
+  std::uint64_t trace_sample_ = 0;
+  obs::Histogram* stage_flight_ns_;
+  obs::Histogram* stage_exec_ns_;
+  obs::Histogram* stage_reply_complete_ns_;
+  obs::Counter* spans_opened_;
+  obs::Counter* spans_closed_;
+
   // Reply completers, sharded by request id so completion bookkeeping on
   // one record does not serialize against registration of the next.
   std::array<PendingShard, kPendingShards> pending_;
@@ -339,9 +395,14 @@ concept InlineAm = requires { T::kRuntimeInternal; };
 /// reply.
 template <typename Am>
 struct AmExecutor {
-  static void execute(AmEngine& engine, pe_id src, request_id rid,
-                      std::uint32_t flags, std::span<const std::byte> payload,
+  static void execute(AmEngine& engine, pe_id src, const AmEnvelope& env,
+                      std::span<const std::byte> payload,
                       AmDispatchBatch& batch) {
+    const request_id rid = env.req_id;
+    const std::uint32_t flags = env.flags;
+    // Copied out of the envelope (which only lives for this call) so the
+    // deferred task can time its exec stage and tag the reply.
+    const std::uint64_t span = env.traced() ? env.trace_span : 0;
     Am am{};
     {
       Deserializer de(payload);
@@ -352,32 +413,48 @@ struct AmExecutor {
     if constexpr (InlineAm<Am>) {
       ScopedWorld scope(engine.world());
       AmContext ctx(*engine.world(), src);
+      const sim_nanos t0 = engine.lamellae().clock().now();
       auto result = AmEngine::invoke_exec<Am>(am, ctx);
+      if (span != 0) {
+        engine.note_traced_exec(span, t0, engine.lamellae().clock().now());
+      }
       engine.note_am_executed();
-      if ((flags & kWantsReply) != 0) engine.send_reply(src, rid, result);
+      if ((flags & kWantsReply) != 0) engine.send_reply(src, rid, result, span);
       return;
     } else if constexpr (BorrowingAm<Am>) {
       // The deserialized AM holds spans into the inbox buffer; keep the
       // buffer alive until this task has executed and replied.  The arena
       // frame reclaims any result staging once the reply is serialized.
       batch.tasks.emplace_back([&engine, am = std::move(am), src, rid, flags,
-                                hold = batch.require_hold()]() mutable {
+                                span, hold = batch.require_hold()]() mutable {
         ScopedWorld scope(engine.world());
         AmContext ctx(*engine.world(), src);
         ArenaFrame frame;
+        const sim_nanos t0 = engine.lamellae().clock().now();
         auto result = AmEngine::invoke_exec<Am>(am, ctx);
+        if (span != 0) {
+          engine.note_traced_exec(span, t0, engine.lamellae().clock().now());
+        }
         engine.note_am_executed();
-        if ((flags & kWantsReply) != 0) engine.send_reply(src, rid, result);
+        if ((flags & kWantsReply) != 0) {
+          engine.send_reply(src, rid, result, span);
+        }
         hold.reset();
       });
     } else {
-      batch.tasks.emplace_back([&engine, am = std::move(am), src, rid,
-                                flags]() mutable {
+      batch.tasks.emplace_back([&engine, am = std::move(am), src, rid, flags,
+                                span]() mutable {
         ScopedWorld scope(engine.world());
         AmContext ctx(*engine.world(), src);
+        const sim_nanos t0 = engine.lamellae().clock().now();
         auto result = AmEngine::invoke_exec<Am>(am, ctx);
+        if (span != 0) {
+          engine.note_traced_exec(span, t0, engine.lamellae().clock().now());
+        }
         engine.note_am_executed();
-        if ((flags & kWantsReply) != 0) engine.send_reply(src, rid, result);
+        if ((flags & kWantsReply) != 0) {
+          engine.send_reply(src, rid, result, span);
+        }
       });
     }
   }

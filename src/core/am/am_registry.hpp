@@ -16,6 +16,7 @@
 
 #include "common/bytes.hpp"
 #include "common/types.hpp"
+#include "core/am/wire.hpp"
 #include "core/scheduler/task.hpp"
 
 namespace lamellar {
@@ -53,9 +54,12 @@ struct AmDispatchBatch {
 /// Type-erased executor: deserializes an AM of its type straight from the
 /// borrowed `payload` view (valid only for the duration of the call),
 /// appends the execution task to `batch` (or runs inline for runtime-
-/// internal AMs), and arranges the reply.
-using AmExecuteFn = void (*)(AmEngine& engine, pe_id src, request_id req_id,
-                             std::uint32_t flags,
+/// internal AMs), and arranges the reply.  `env` is the parsed record
+/// envelope (request id, flags, and — for sampled requests — the trace
+/// span to propagate onto the reply); it is only valid for the duration of
+/// the call, so deferred tasks must copy what they need.
+using AmExecuteFn = void (*)(AmEngine& engine, pe_id src,
+                             const AmEnvelope& env,
                              std::span<const std::byte> payload,
                              AmDispatchBatch& batch);
 

@@ -4,6 +4,18 @@
 //   [u32 am_type][u32 flags][u64 req_id][u64 payload_len][payload bytes]
 // Replies reuse the same framing with type = kReplyType and the request id
 // of the originating AM; the payload is the serialized return value.
+//
+// Records carrying the kTraced flag insert a 16-byte trace extension
+// between the header and the payload:
+//   [u64 span_id][u64 ts]
+// `span_id` identifies one sampled request end-to-end (origin PE in the
+// high 16 bits, origin request id below), so per-PE trace rings stitch into
+// one causal timeline.  `ts` is a virtual-clock nanosecond stamp whose
+// meaning depends on direction: requests carry the origin's *flush* time
+// (patched when the aggregation buffer departs, so the receiver can compute
+// flight latency), replies carry the executing PE's reply-inject time (so
+// the origin can compute reply→complete latency).  Untraced records are
+// byte-for-byte identical to the pre-tracing format.
 #pragma once
 
 #include <cstdint>
@@ -20,16 +32,33 @@ inline constexpr am_type_id kReplyType = 0xFFFFFFFFu;
 
 enum AmFlags : std::uint32_t {
   kWantsReply = 1u << 0,
+  kTraced = 1u << 1,
 };
 
 struct AmEnvelope {
   am_type_id type = 0;
   std::uint32_t flags = 0;
   request_id req_id = 0;
+  // Trace extension (valid only when flags & kTraced).
+  std::uint64_t trace_span = 0;
+  std::uint64_t trace_ts = 0;
+
+  [[nodiscard]] bool traced() const { return (flags & kTraced) != 0; }
 };
 
 inline constexpr std::size_t kRecordHeaderBytes =
     sizeof(std::uint32_t) * 2 + sizeof(std::uint64_t) * 2;
+inline constexpr std::size_t kTraceExtBytes = sizeof(std::uint64_t) * 2;
+
+/// Globally unique span id for a sampled request: origin PE in the top 16
+/// bits over that PE's monotone request id.
+inline std::uint64_t make_trace_span(pe_id origin, request_id rid) {
+  return (static_cast<std::uint64_t>(origin) << 48) |
+         (rid & ((1ULL << 48) - 1));
+}
+inline pe_id trace_span_origin(std::uint64_t span) {
+  return static_cast<pe_id>(span >> 48);
+}
 
 inline void write_record(ByteBuffer& out, const AmEnvelope& env,
                          std::span<const std::byte> payload) {
@@ -37,6 +66,10 @@ inline void write_record(ByteBuffer& out, const AmEnvelope& env,
   out.write_pod<std::uint32_t>(env.flags);
   out.write_pod<std::uint64_t>(env.req_id);
   out.write_pod<std::uint64_t>(payload.size());
+  if (env.traced()) {
+    out.write_pod<std::uint64_t>(env.trace_span);
+    out.write_pod<std::uint64_t>(env.trace_ts);
+  }
   out.write(payload.data(), payload.size());
 }
 
@@ -54,11 +87,23 @@ inline bool read_record(std::span<const std::byte>& in, AmEnvelope& env,
   std::memcpy(&env.flags, in.data() + 4, sizeof(env.flags));
   std::memcpy(&env.req_id, in.data() + 8, sizeof(env.req_id));
   std::memcpy(&len, in.data() + 16, sizeof(len));
-  if (in.size() - kRecordHeaderBytes < len) {
+  std::size_t off = kRecordHeaderBytes;
+  if (env.traced()) {
+    if (in.size() - off < kTraceExtBytes) {
+      throw DeserializeError("read_record: truncated trace extension");
+    }
+    std::memcpy(&env.trace_span, in.data() + off, sizeof(env.trace_span));
+    std::memcpy(&env.trace_ts, in.data() + off + 8, sizeof(env.trace_ts));
+    off += kTraceExtBytes;
+  } else {
+    env.trace_span = 0;
+    env.trace_ts = 0;
+  }
+  if (in.size() - off < len) {
     throw DeserializeError("read_record: truncated record payload");
   }
-  payload = in.subspan(kRecordHeaderBytes, static_cast<std::size_t>(len));
-  in = in.subspan(kRecordHeaderBytes + static_cast<std::size_t>(len));
+  payload = in.subspan(off, static_cast<std::size_t>(len));
+  in = in.subspan(off + static_cast<std::size_t>(len));
   return true;
 }
 
@@ -70,6 +115,13 @@ inline bool read_record(ByteBuffer& in, AmEnvelope& env,
   env.flags = in.read_pod<std::uint32_t>();
   env.req_id = in.read_pod<std::uint64_t>();
   const auto len = in.read_pod<std::uint64_t>();
+  if (env.traced()) {
+    env.trace_span = in.read_pod<std::uint64_t>();
+    env.trace_ts = in.read_pod<std::uint64_t>();
+  } else {
+    env.trace_span = 0;
+    env.trace_ts = 0;
+  }
   payload = in.read_view(static_cast<std::size_t>(len));
   return true;
 }

@@ -34,10 +34,12 @@ ThreadPool::ThreadPool(std::size_t num_workers, ProgressHook progress,
 ThreadPool::~ThreadPool() { shutdown(); }
 
 void ThreadPool::spawn(Task task) {
-  const std::size_t depth = pending_.fetch_add(1, std::memory_order_acq_rel);
+  pending_.fetch_add(1, std::memory_order_acq_rel);
   unclaimed_.fetch_add(1, std::memory_order_release);
   tasks_spawned_->inc();
-  queue_depth_->set(static_cast<std::int64_t>(depth) + 1);
+  // Delta update: set(pending+1) here raced with concurrent spawns/retires
+  // and could publish a stale (lower) level over a newer one.
+  queue_depth_->add(1);
   auto* heap_task = new Task(std::move(task));
   if (tl_pool == this) {
     workers_[tl_worker_index]->deque.push(heap_task);
@@ -50,11 +52,10 @@ void ThreadPool::spawn(Task task) {
 void ThreadPool::spawn_batch(std::vector<Task> tasks) {
   if (tasks.empty()) return;
   const std::size_t n = tasks.size();
-  const std::size_t depth =
-      pending_.fetch_add(n, std::memory_order_acq_rel) + n;
+  pending_.fetch_add(n, std::memory_order_acq_rel);
   unclaimed_.fetch_add(n, std::memory_order_release);
   tasks_spawned_->inc(n);
-  queue_depth_->set(static_cast<std::int64_t>(depth));
+  queue_depth_->add(static_cast<std::int64_t>(n));
   for (Task& task : tasks) {
     auto* heap_task = new Task(std::move(task));
     if (tl_pool == this) {
@@ -123,8 +124,8 @@ void ThreadPool::run(Task* task) {
   }
   delete task;
   tasks_executed_->inc();
-  queue_depth_->set(static_cast<std::int64_t>(
-      pending_.fetch_sub(1, std::memory_order_acq_rel)) - 1);
+  pending_.fetch_sub(1, std::memory_order_acq_rel);
+  queue_depth_->sub(1);
 }
 
 bool ThreadPool::try_run_one() {
@@ -185,6 +186,7 @@ void ThreadPool::shutdown() {
     delete *t;
     pending_.fetch_sub(1, std::memory_order_acq_rel);
     unclaimed_.fetch_sub(1, std::memory_order_relaxed);
+    queue_depth_->sub(1);
   }
 }
 

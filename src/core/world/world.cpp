@@ -177,6 +177,12 @@ WorldGroup::WorldGroup(std::size_t num_pes, RuntimeConfig cfg,
   for (pe_id pe = 0; pe < num_pes; ++pe) {
     worlds_[pe]->world_team_ = Team(worlds_[pe].get(), shared);
   }
+  if (cfg_.metrics_interval_ms > 0) {
+    telemetry_ = std::make_unique<obs::TelemetrySampler>(
+        cfg_.metrics_interval_ms, cfg_.metrics_file,
+        [this] { return metrics_snapshots(); });
+    telemetry_->start();
+  }
 }
 
 WorldGroup::~WorldGroup() {
@@ -191,16 +197,39 @@ std::vector<obs::MetricsSnapshot> WorldGroup::metrics_snapshots() const {
   return snaps;
 }
 
+namespace {
+// "trace.json" -> "trace.pe3.json"; no extension -> "trace.pe3".
+std::string per_pe_trace_path(const std::string& base, pe_id pe) {
+  const std::size_t dot = base.rfind('.');
+  const std::size_t slash = base.rfind('/');
+  const std::string tag = ".pe" + std::to_string(pe);
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash)) {
+    return base + tag;
+  }
+  return base.substr(0, dot) + tag + base.substr(dot);
+}
+}  // namespace
+
 void WorldGroup::emit_reports() {
   if (reports_emitted_) return;
   reports_emitted_ = true;
+  if (telemetry_) telemetry_->stop();  // final tick before the reports
   if (cfg_.metrics_mode == MetricsMode::kSummary) {
     obs::print_summary(stderr, metrics_snapshots());
   } else if (cfg_.metrics_mode == MetricsMode::kJson) {
     obs::print_json(stderr, metrics_snapshots());
   }
   if (!cfg_.trace_file.empty()) {
-    if (!tracer_.write_chrome_json(cfg_.trace_file)) {
+    if (cfg_.trace_per_pe) {
+      for (pe_id pe = 0; pe < worlds_.size(); ++pe) {
+        const std::string path = per_pe_trace_path(cfg_.trace_file, pe);
+        if (!tracer_.write_chrome_json(path, static_cast<std::int64_t>(pe))) {
+          std::fprintf(stderr, "lamellar: failed to write trace file %s\n",
+                       path.c_str());
+        }
+      }
+    } else if (!tracer_.write_chrome_json(cfg_.trace_file)) {
       std::fprintf(stderr, "lamellar: failed to write trace file %s\n",
                    cfg_.trace_file.c_str());
     }

@@ -23,6 +23,7 @@
 #include "core/world/team.hpp"
 #include "lamellae/shmem_lamellae.hpp"
 #include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 
 namespace lamellar {
@@ -219,6 +220,10 @@ class WorldGroup {
   obs::TraceCollector tracer_;  // before lamellae_group_: outlives workers
   ShmemLamellaeGroup lamellae_group_;
   std::vector<std::unique_ptr<World>> worlds_;
+  /// Background time-series sampler (LAMELLAR_METRICS_INTERVAL_MS); null
+  /// when disabled.  Declared after worlds_: its thread snapshots them, so
+  /// it must stop (emit_reports) / destruct first.
+  std::unique_ptr<obs::TelemetrySampler> telemetry_;
   bool reports_emitted_ = false;
 
   std::mutex team_mu_;

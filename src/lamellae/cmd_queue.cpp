@@ -10,8 +10,10 @@ namespace {
 constexpr std::size_t kRecordSlack = 4096;
 }  // namespace
 
-OutgoingQueues::OutgoingQueues(Lamellae& lamellae, std::size_t flush_threshold)
+OutgoingQueues::OutgoingQueues(Lamellae& lamellae, std::size_t flush_threshold,
+                               obs::TraceCollector* tracer)
     : lamellae_(lamellae),
+      tracer_(tracer),
       threshold_(flush_threshold),
       pool_(std::max<std::size_t>(16, 2 * lamellae.num_pes())) {
   lanes_.reserve(lamellae.num_pes());
@@ -28,7 +30,36 @@ OutgoingQueues::OutgoingQueues(Lamellae& lamellae, std::size_t flush_threshold)
       &reg.counter("cmdq.backpressure_stalls"),
       &reg.counter("cmdq.buffers_recycled"),
       &reg.counter("cmdq.buffers_allocated"),
+      &reg.histogram("am.stage_inject_flush_ns"),
+      &reg.gauge("cmdq.nonempty_lanes"),
   };
+}
+
+void OutgoingQueues::RecordWriter::note_trace(std::uint64_t span,
+                                              std::size_t ts_offset) {
+  q_->lanes_[dst_]->traced.push_back(
+      {span, ts_offset, q_->lamellae_.clock().now()});
+}
+
+void OutgoingQueues::seal_traced(ByteBuffer& buf,
+                                 std::vector<TracedRecord>& traced) {
+  const sim_nanos now = lamellae_.clock().now();
+  for (const TracedRecord& t : traced) {
+    // Patch the wire trace-ext ts with the departure time so the receiver
+    // can compute flight latency from its own arrival clock.
+    buf.patch_pod<std::uint64_t>(t.ts_offset,
+                                 static_cast<std::uint64_t>(now));
+    const sim_nanos dur = now >= t.staged_at ? now - t.staged_at : 0;
+    metrics_.stage_inject_flush->record(static_cast<std::uint64_t>(dur));
+    if (tracer_ != nullptr && tracer_->enabled()) {
+      const pe_id pe = lamellae_.my_pe();
+      tracer_->record({"am_lane", "am", pe, t.staged_at, dur, 'X',
+                       static_cast<std::uint64_t>(dur)});
+      tracer_->record({"am_flush", "am", pe, now, 0, 't',
+                       static_cast<std::uint64_t>(dur), t.span});
+    }
+  }
+  traced.clear();
 }
 
 OutgoingQueues::RecordWriter::~RecordWriter() {
@@ -58,20 +89,28 @@ void OutgoingQueues::commit_record(RecordWriter& w, const ProgressFn& progress) 
   const std::size_t record_bytes = lane.active.size() - w.start_;
   w.committed_ = true;
   ByteBuffer to_send;
+  std::vector<TracedRecord> traced;
   if (lane.active.size() >= threshold_) {
     // Swap the filled buffer out; the lane goes back to empty immediately
     // (the second half of the double buffer) so other writers continue.
     to_send = std::move(lane.active);
     lane.active = ByteBuffer{};
-    if (was_counted) nonempty_lanes_.fetch_sub(1, std::memory_order_relaxed);
+    traced = std::move(lane.traced);
+    lane.traced.clear();
+    if (was_counted) {
+      nonempty_lanes_.fetch_sub(1, std::memory_order_relaxed);
+      metrics_.nonempty_lanes->sub(1);
+    }
     (record_bytes >= threshold_ ? metrics_.bypass_large
                                 : metrics_.flush_threshold)
         ->inc();
   } else if (!was_counted && record_bytes > 0) {
     nonempty_lanes_.fetch_add(1, std::memory_order_relaxed);
+    metrics_.nonempty_lanes->add(1);
   }
   w.lock_.unlock();
   if (!to_send.empty()) {
+    if (!traced.empty()) seal_traced(to_send, traced);
     lamellae_.charge(lamellae_.params().agg_flush_overhead_ns);
     transmit(w.dst_, std::move(to_send), progress);
   }
@@ -96,13 +135,18 @@ void OutgoingQueues::send_now(pe_id dst, ByteBuffer buf,
 void OutgoingQueues::flush(pe_id dst, const ProgressFn& progress) {
   Lane& lane = *lanes_[dst];
   ByteBuffer to_send;
+  std::vector<TracedRecord> traced;
   {
     std::lock_guard lock(lane.mu);
     if (lane.active.empty()) return;
     to_send = std::move(lane.active);
     lane.active = ByteBuffer{};
+    traced = std::move(lane.traced);
+    lane.traced.clear();
     nonempty_lanes_.fetch_sub(1, std::memory_order_relaxed);
+    metrics_.nonempty_lanes->sub(1);
   }
+  if (!traced.empty()) seal_traced(to_send, traced);
   metrics_.flush_explicit->inc();
   lamellae_.charge(lamellae_.params().agg_flush_overhead_ns);
   transmit(dst, std::move(to_send), progress);

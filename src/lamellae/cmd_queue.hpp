@@ -25,6 +25,7 @@
 #include "common/types.hpp"
 #include "lamellae/lamellae.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace lamellar {
 
@@ -34,7 +35,8 @@ class OutgoingQueues {
   /// the caller's own inbox (and may execute tasks) to guarantee progress.
   using ProgressFn = std::function<void()>;
 
-  OutgoingQueues(Lamellae& lamellae, std::size_t flush_threshold);
+  OutgoingQueues(Lamellae& lamellae, std::size_t flush_threshold,
+                 obs::TraceCollector* tracer = nullptr);
 
   /// An open in-place record on one destination lane.  Holds the lane lock
   /// from begin_record() until commit_record() (or destruction, which rolls
@@ -50,6 +52,13 @@ class OutgoingQueues {
     [[nodiscard]] ByteBuffer& buffer() { return *buf_; }
     /// Offset in buffer() where this record starts.
     [[nodiscard]] std::size_t record_start() const { return start_; }
+
+    /// Register the open record as trace-sampled: when the buffer departs
+    /// the lane, the u64 at `ts_offset` is patched with the departure time
+    /// (so the receiver can compute flight latency), the lane-residency
+    /// stage latency is recorded, and a flow step is traced.  Must be
+    /// called between begin_record() and commit_record().
+    void note_trace(std::uint64_t span, std::size_t ts_offset);
 
    private:
     friend class OutgoingQueues;
@@ -101,9 +110,20 @@ class OutgoingQueues {
   [[nodiscard]] BufferPool& pool() { return pool_; }
 
  private:
+  /// One trace-sampled record staged in a lane's active buffer, awaiting
+  /// its departure timestamp.
+  struct TracedRecord {
+    std::uint64_t span = 0;
+    std::size_t ts_offset = 0;   // of the wire trace-ext ts field
+    sim_nanos staged_at = 0;     // lane-residency start (inject time)
+  };
+
   struct Lane {
     mutable std::mutex mu;
     ByteBuffer active;
+    /// Sampled records currently staged in `active` (almost always empty;
+    /// moved out together with the buffer when it departs).
+    std::vector<TracedRecord> traced;
   };
 
   // Resolved once from the PE's metrics registry ("cmdq.*" namespace):
@@ -118,13 +138,21 @@ class OutgoingQueues {
     obs::Counter* backpressure_stalls;
     obs::Counter* buffers_recycled;
     obs::Counter* buffers_allocated;
+    obs::Histogram* stage_inject_flush;  // am.stage_inject_flush_ns
+    obs::Gauge* nonempty_lanes;          // cmdq.nonempty_lanes
   };
 
   /// Ensure `lane.active` has pooled backing storage (called under lock).
   void prime(Lane& lane);
   void transmit(pe_id dst, ByteBuffer buf, const ProgressFn& progress);
 
+  /// Stamp the departure time into every traced record of a departing
+  /// buffer, record the lane-residency latency, and emit flow steps.
+  /// Called outside the lane lock, before the buffer is transmitted.
+  void seal_traced(ByteBuffer& buf, std::vector<TracedRecord>& traced);
+
   Lamellae& lamellae_;
+  obs::TraceCollector* tracer_;
   std::size_t threshold_;
   std::vector<std::unique_ptr<Lane>> lanes_;
   BufferPool pool_;

@@ -39,23 +39,42 @@ struct alignas(kCacheLine) Counter {
 };
 
 /// Instantaneous level (queue depth, live objects) with a high-water mark.
+///
+/// Two update idioms, both safe under concurrency:
+///   * set(v)   — an absolute level the caller derives from its own source
+///                of truth (e.g. a size it just computed under a lock);
+///   * add(d) / sub(d) — delta updates where the gauge itself is the source
+///                of truth.  These are a single fetch_add, so concurrent
+///                deltas never lose updates (the old `set(get()±1)` idiom
+///                was a racy read-modify-write, and its stale reads could
+///                also publish a too-low level that a concurrent set()
+///                would then miss in the high-water race).
 struct alignas(kCacheLine) Gauge {
   std::atomic<std::int64_t> value{0};
   std::atomic<std::int64_t> high_water{0};
 
   void set(std::int64_t v) {
     value.store(v, std::memory_order_relaxed);
-    std::int64_t hw = high_water.load(std::memory_order_relaxed);
-    while (v > hw && !high_water.compare_exchange_weak(
-                         hw, v, std::memory_order_relaxed)) {
-    }
+    raise_high_water(v);
   }
-  void add(std::int64_t d) { set(value.load(std::memory_order_relaxed) + d); }
+  void add(std::int64_t d) {
+    const std::int64_t v = value.fetch_add(d, std::memory_order_relaxed) + d;
+    if (d > 0) raise_high_water(v);
+  }
+  void sub(std::int64_t d) { add(-d); }
   [[nodiscard]] std::int64_t get() const {
     return value.load(std::memory_order_relaxed);
   }
   [[nodiscard]] std::int64_t max() const {
     return high_water.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void raise_high_water(std::int64_t v) {
+    std::int64_t hw = high_water.load(std::memory_order_relaxed);
+    while (v > hw && !high_water.compare_exchange_weak(
+                         hw, v, std::memory_order_relaxed)) {
+    }
   }
 };
 
@@ -101,6 +120,23 @@ struct HistogramSnapshot {
 
   /// Upper bound of the bucket holding the p-quantile (p in [0,1]).
   [[nodiscard]] std::uint64_t quantile_bound(double p) const;
+
+  /// Interpolated p-quantile (p in [0,1]): locate the log2 bucket holding
+  /// the target rank and interpolate linearly within its value range
+  /// [2^(i-1), 2^i).  Results are clamped to the observed max, so a
+  /// single-sample histogram returns that sample exactly and the open-ended
+  /// top bucket never reports beyond what was recorded.
+  [[nodiscard]] std::uint64_t percentile(double p) const;
+
+  /// The standard latency triple, in recording units.
+  struct Percentiles {
+    std::uint64_t p50 = 0;
+    std::uint64_t p90 = 0;
+    std::uint64_t p99 = 0;
+  };
+  [[nodiscard]] Percentiles percentiles() const {
+    return {percentile(0.50), percentile(0.90), percentile(0.99)};
+  }
 };
 
 /// Plain-struct snapshot of a whole registry: what tests and the bench
@@ -121,9 +157,26 @@ struct MetricsSnapshot {
     return counters.empty() && gauges.empty() && histograms.empty();
   }
 
-  /// Compact single-object JSON (histograms as {count,sum,max,mean}).
+  /// Compact single-object JSON (histograms as
+  /// {count,sum,max,mean,p50,p90,p99}).
   [[nodiscard]] std::string to_json() const;
 };
+
+/// Per-name counter and histogram deltas between two snapshots of the same
+/// registry (`after` taken later than `before`).  Used by bench drivers to
+/// attribute metrics to one phase of a multi-phase run: counters subtract,
+/// histogram counts/sums/buckets subtract (percentiles then describe only
+/// the interval), gauges keep their `after` state.  Names present only in
+/// `after` pass through unchanged.
+MetricsSnapshot snapshot_delta(const MetricsSnapshot& before,
+                               const MetricsSnapshot& after);
+
+/// Accumulate `delta` (typically a snapshot_delta result) into `into`:
+/// counters and histogram counts/sums/buckets add, histogram max takes the
+/// larger, gauges take `delta`'s (latest) state.  Names absent from `into`
+/// are appended.  Used by bench drivers whose per-impl phases interleave,
+/// so one impl's intervals must be summed across the run.
+void snapshot_accumulate(MetricsSnapshot& into, const MetricsSnapshot& delta);
 
 /// One registry per PE.  Registration (name lookup) takes a mutex and is
 /// meant for construction time; the returned references stay valid for the

@@ -57,10 +57,13 @@ void print_summary(std::FILE* out,
     for (const auto* h : row) {
       std::fprintf(out, " %14.1f", h != nullptr ? h->mean() : 0.0);
     }
-    std::fprintf(out, "\n%-28s", (name + " (~p99)").c_str());
+    std::fprintf(out, "\n%-28s", (name + " (p50)").c_str());
     for (const auto* h : row) {
-      std::fprintf(out, " %14" PRIu64,
-                   h != nullptr ? h->quantile_bound(0.99) : 0);
+      std::fprintf(out, " %14" PRIu64, h != nullptr ? h->percentile(0.50) : 0);
+    }
+    std::fprintf(out, "\n%-28s", (name + " (p99)").c_str());
+    for (const auto* h : row) {
+      std::fprintf(out, " %14" PRIu64, h != nullptr ? h->percentile(0.99) : 0);
     }
     std::fprintf(out, "\n");
   }

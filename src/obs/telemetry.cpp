@@ -1,0 +1,137 @@
+#include "obs/telemetry.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace lamellar::obs {
+
+namespace {
+
+// Append `"name":` with minimal JSON string escaping (metric names are
+// ASCII identifiers, but don't trust that at a file boundary).
+void append_key(std::string& out, const std::string& name) {
+  out += '"';
+  for (char c : name) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += "\":";
+}
+
+}  // namespace
+
+TelemetrySampler::TelemetrySampler(std::uint64_t interval_ms, std::string path,
+                                   SnapshotFn snapshot_fn)
+    : interval_ms_(interval_ms),
+      path_(std::move(path)),
+      snapshot_fn_(std::move(snapshot_fn)) {}
+
+TelemetrySampler::~TelemetrySampler() { stop(); }
+
+void TelemetrySampler::start() {
+  if (interval_ms_ == 0 || started_) return;
+  started_ = true;
+  stopping_ = false;
+  start_time_ = std::chrono::steady_clock::now();
+  prev_.clear();
+  thread_ = std::thread([this] { run(); });
+}
+
+void TelemetrySampler::stop() {
+  if (!started_) return;
+  {
+    std::lock_guard lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  started_ = false;
+}
+
+std::uint64_t TelemetrySampler::ticks() const {
+  return tick_count_.load(std::memory_order_relaxed);
+}
+
+void TelemetrySampler::run() {
+  std::unique_lock lock(mu_);
+  while (!stopping_) {
+    cv_.wait_for(lock, std::chrono::milliseconds(interval_ms_),
+                 [this] { return stopping_; });
+    if (stopping_) break;
+    lock.unlock();
+    emit_tick();
+    lock.lock();
+  }
+  lock.unlock();
+  // Final tick so runs shorter than one interval still produce a sample
+  // and the last partial interval is not lost.
+  emit_tick();
+}
+
+std::string TelemetrySampler::format_line(std::uint64_t tick,
+                                          std::uint64_t elapsed_ms,
+                                          const MetricsSnapshot& cur,
+                                          const MetricsSnapshot* prev) {
+  char buf[128];
+  std::string out;
+  out.reserve(512);
+  std::snprintf(buf, sizeof(buf),
+                "{\"telemetry\":\"lamellar\",\"tick\":%" PRIu64
+                ",\"elapsed_ms\":%" PRIu64 ",\"pe\":%zu,\"counters\":{",
+                tick, elapsed_ms, cur.pe);
+  out += buf;
+  bool first = true;
+  for (const auto& [name, value] : cur.counters) {
+    std::uint64_t delta = value;
+    if (prev != nullptr) delta = value - prev->counter(name);
+    if (delta == 0) continue;  // steady-state lines stay short
+    if (!first) out += ',';
+    append_key(out, name);
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, delta);
+    out += buf;
+    first = false;
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, vh] : cur.gauges) {
+    if (!first) out += ',';
+    append_key(out, name);
+    std::snprintf(buf, sizeof(buf), "[%" PRId64 ",%" PRId64 "]", vh.first,
+                  vh.second);
+    out += buf;
+    first = false;
+  }
+  out += "}}";
+  return out;
+}
+
+void TelemetrySampler::emit_tick() {
+  std::vector<MetricsSnapshot> cur = snapshot_fn_();
+  const auto elapsed_ms = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - start_time_)
+          .count());
+  const std::uint64_t tick = tick_count_.fetch_add(1) + 1;
+
+  std::FILE* f = stderr;
+  const bool own = !path_.empty();
+  if (own) {
+    f = std::fopen(path_.c_str(), "a");
+    if (f == nullptr) return;  // telemetry must never take the run down
+  }
+  for (std::size_t i = 0; i < cur.size(); ++i) {
+    const MetricsSnapshot* prev =
+        i < prev_.size() ? &prev_[i] : nullptr;
+    const std::string line = format_line(tick, elapsed_ms, cur[i], prev);
+    std::fwrite(line.data(), 1, line.size(), f);
+    std::fputc('\n', f);
+  }
+  if (own) {
+    std::fclose(f);
+  } else {
+    std::fflush(f);
+  }
+  prev_ = std::move(cur);
+}
+
+}  // namespace lamellar::obs

@@ -1,0 +1,78 @@
+// Background time-series telemetry (observability, ISSUE 6).
+//
+// A low-rate sampler thread that wakes every `interval_ms`, snapshots every
+// PE's metrics registry, and appends one JSONL line per PE per tick —
+// counter *deltas* since the previous tick (so steady-state rates read
+// directly off the lines) plus instantaneous gauge levels and high-water
+// marks.  The runtime's hot paths are untouched: the sampler only reads the
+// same relaxed atomics the end-of-run reporters read.
+//
+// Enabled by LAMELLAR_METRICS_INTERVAL_MS (0 = off); lines go to
+// LAMELLAR_METRICS_FILE, or stderr when unset.  stop() emits one final tick
+// so short runs still produce a sample, then joins the thread.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace lamellar::obs {
+
+class TelemetrySampler {
+ public:
+  /// Returns one snapshot per PE.  Called from the sampler thread; must be
+  /// safe to invoke concurrently with the runtime (registry snapshots are).
+  using SnapshotFn = std::function<std::vector<MetricsSnapshot>()>;
+
+  /// `path` empty means stderr.  The sampler is inert until start().
+  TelemetrySampler(std::uint64_t interval_ms, std::string path,
+                   SnapshotFn snapshot_fn);
+  ~TelemetrySampler();
+
+  TelemetrySampler(const TelemetrySampler&) = delete;
+  TelemetrySampler& operator=(const TelemetrySampler&) = delete;
+
+  /// Launch the sampler thread (no-op when interval is 0 or already
+  /// started).
+  void start();
+
+  /// Emit a final tick, then join.  Idempotent; also run by the destructor.
+  void stop();
+
+  /// Ticks emitted so far (including the final one after stop()).
+  [[nodiscard]] std::uint64_t ticks() const;
+
+  /// Format one PE's sample as a single JSON object (exposed for tests).
+  /// `prev` may be null for the first tick — deltas then equal the values.
+  [[nodiscard]] static std::string format_line(
+      std::uint64_t tick, std::uint64_t elapsed_ms,
+      const MetricsSnapshot& cur, const MetricsSnapshot* prev);
+
+ private:
+  void run();
+  void emit_tick();
+
+  std::uint64_t interval_ms_;
+  std::string path_;
+  SnapshotFn snapshot_fn_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  bool started_ = false;
+  std::thread thread_;
+
+  std::vector<MetricsSnapshot> prev_;  // sampler thread only
+  std::atomic<std::uint64_t> tick_count_{0};
+  std::chrono::steady_clock::time_point start_time_;
+};
+
+}  // namespace lamellar::obs

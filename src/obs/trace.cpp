@@ -71,13 +71,16 @@ std::size_t TraceCollector::num_rings() const {
   return rings_.size();
 }
 
-std::string TraceCollector::to_chrome_json() const {
+std::string TraceCollector::to_chrome_json(std::int64_t pe_filter) const {
   std::lock_guard lock(mu_);
   std::string out = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
   char buf[256];
   bool first = true;
   for (const auto& ring : rings_) {
     for (const auto& e : ring->drain_ordered()) {
+      if (pe_filter >= 0 && static_cast<std::int64_t>(e.pe) != pe_filter) {
+        continue;
+      }
       // Chrome trace timestamps are microseconds; keep ns precision with a
       // fractional part.
       std::snprintf(
@@ -93,6 +96,13 @@ std::string TraceCollector::to_chrome_json() const {
         out += buf;
       }
       if (e.phase == 'i') out += ",\"s\":\"t\"";
+      if (e.phase == 's' || e.phase == 't' || e.phase == 'f') {
+        // Flow events: the id chains them; bind to the enclosing slice so
+        // Perfetto draws the arrows at the stage spans.
+        std::snprintf(buf, sizeof(buf), ",\"id\":%" PRIu64 ",\"bp\":\"e\"",
+                      e.flow);
+        out += buf;
+      }
       std::snprintf(buf, sizeof(buf), ",\"args\":{\"v\":%" PRIu64 "}}",
                     e.arg);
       out += buf;
@@ -103,10 +113,11 @@ std::string TraceCollector::to_chrome_json() const {
   return out;
 }
 
-bool TraceCollector::write_chrome_json(const std::string& path) const {
+bool TraceCollector::write_chrome_json(const std::string& path,
+                                       std::int64_t pe_filter) const {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return false;
-  const std::string json = to_chrome_json();
+  const std::string json = to_chrome_json(pe_filter);
   const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
   std::fclose(f);
   return ok;

@@ -27,8 +27,13 @@ struct TraceEvent {
   pe_id pe = 0;
   sim_nanos ts = 0;   // virtual-clock nanoseconds
   sim_nanos dur = 0;  // span duration (0 for instants)
-  char phase = 'X';   // 'X' complete span, 'i' instant
+  char phase = 'X';   // 'X' complete span, 'i' instant, 's'/'t'/'f' flow
   std::uint64_t arg = 0;
+  /// Flow-binding id for phases 's' (start), 't' (step), 'f' (end): events
+  /// sharing a flow id render as one causal arrow chain in Perfetto and are
+  /// stitched across per-PE trace files by tools/trace_stitch.py.  Ignored
+  /// for other phases.
+  std::uint64_t flow = 0;
 };
 
 /// Single-writer ring of trace events.  Capacity is rounded up to a power
@@ -78,11 +83,14 @@ class TraceCollector {
   [[nodiscard]] std::size_t num_rings() const;
 
   /// Serialize all rings as a Chrome trace_event JSON object.  Call only
-  /// when writer threads are quiescent (joined or barriered).
-  [[nodiscard]] std::string to_chrome_json() const;
+  /// when writer threads are quiescent (joined or barriered).  When
+  /// `pe_filter` is non-negative, only events stamped with that PE are
+  /// emitted — the per-PE export mode behind LAMELLAR_TRACE_PER_PE.
+  [[nodiscard]] std::string to_chrome_json(std::int64_t pe_filter = -1) const;
 
   /// Write to_chrome_json() to `path`; returns false on I/O failure.
-  bool write_chrome_json(const std::string& path) const;
+  bool write_chrome_json(const std::string& path,
+                         std::int64_t pe_filter = -1) const;
 
  private:
   TraceRing* register_ring();

@@ -389,6 +389,16 @@ void check_quiesced_invariants(World& world, std::size_t round,
   SOAK_CHECK(copied == serialized, "copy budget", copied, serialized, me,
              round);
 
+  // Causal-trace conservation: only replied-to sends are sampled, and a
+  // span closes when its reply is consumed on this PE — so at quiescence
+  // every opened span has closed.
+  const std::uint64_t spans_opened =
+      world.metrics().counter("trace.spans_opened").get();
+  const std::uint64_t spans_closed =
+      world.metrics().counter("trace.spans_closed").get();
+  SOAK_CHECK(spans_opened == spans_closed, "trace span conservation",
+             spans_opened, spans_closed, me, round);
+
   // Pool accounting: recycling never exceeds the retention bound.
   auto& pool = world.engine().outgoing().pool();
   SOAK_CHECK(pool.size() <= pool.max_buffers(), "buffer pool bound",
@@ -513,6 +523,11 @@ int main(int argc, char** argv) {
   // commits, threshold flushes + buffer swaps, and large-record bypass.
   cfg.agg_threshold_bytes = 4096;
   cfg.metrics_mode = MetricsMode::kQuiet;  // copy-budget check needs counters
+  // Trace-sample aggressively (1 in 7 requests) so the wire trace
+  // extension, lane ts-patching, and stage histograms soak under the
+  // sanitizers alongside everything else; the span-conservation invariant
+  // is checked at every quiesce point.
+  cfg.trace_sample = 7;
 
   run_world(opt.pes, [&](World& world) { soak_main(world, opt); }, cfg);
 
