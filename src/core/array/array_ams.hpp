@@ -143,6 +143,67 @@ struct ArrayCexAm {
   }
 };
 
+/// A fused lazy-chain group bound for one destination PE (DESIGN.md §11):
+/// the per-chunk local slots, the chain's stage table, and ONE concatenated
+/// operand region — per-element stages contribute locals.size() values
+/// (gathered by caller position straight into the lane), shared stages one.
+/// exec() borrows everything from the inbox and applies the composed kernel
+/// in a single pass; with `fetch` the reply carries post-chain values.
+template <typename T>
+struct ArrayFusedAm {
+  static constexpr bool kBorrowsPayload = true;
+
+  Darc<ArrayState<T>> state;
+  std::uint8_t fetch = 0;
+  std::span<const std::uint64_t> locals;
+  std::span<const FusedStage> stages;
+  std::span<const T> ops;  ///< exec-side concatenated operand region
+
+  // Send-side only: the recorded stages (operand sources) and the chunk's
+  // caller positions; the operand region is written with put_elems_gather,
+  // permuting per-element operands into chunk order on the fly.
+  const FusedStageRec<T>* recs = nullptr;
+  std::span<const std::size_t> gather_pos;
+
+  template <class Ar>
+  void serialize(Ar& ar) {
+    ar(state, fetch);
+    if constexpr (Ar::is_writing) {
+      ar.put_elems(locals);
+      ar.put_elems(stages);
+      const std::size_t n = locals.size();
+      std::size_t total = 0;
+      for (const FusedStage& s : stages) total += s.per_elem != 0 ? n : 1;
+      // Sequential gather over the concatenated layout: advance the stage
+      // cursor when j crosses a region boundary (put_elems_gather calls
+      // strictly in order, so the walk is O(total)).
+      std::size_t si = 0;
+      std::size_t sbase = 0;
+      ar.template put_elems_gather<T>(total, [&](std::size_t j) {
+        while (j - sbase >= (stages[si].per_elem != 0 ? n : 1)) {
+          sbase += stages[si].per_elem != 0 ? n : 1;
+          ++si;
+        }
+        const FusedStageRec<T>& rec = recs[si];
+        if (!rec.per_elem) return rec.scalar;
+        return rec.vals[gather_pos[j - sbase]];
+      });
+    } else {
+      locals = ar.template get_elems<std::uint64_t>();
+      stages = ar.template get_elems<FusedStage>();
+      ops = ar.template get_elems<T>();
+    }
+  }
+
+  ValSpan<T> exec(AmContext&) {
+    std::span<T> out;
+    if (fetch != 0) out = ScratchArena::local().alloc_span<T>(locals.size());
+    array_detail::apply_fused_sink<T>(*state, stages, ops, locals,
+                                      fetch != 0 ? out.data() : nullptr);
+    return {out};
+  }
+};
+
 /// RDMA-like put of a contiguous local range, applied under the owner's
 /// safety regime (paper Fig. 2 discussion: UnsafeArray memcopies,
 /// LocalLockArray locks then memcopies, AtomicArray stores element-wise).
@@ -297,6 +358,8 @@ inline std::size_t reduce_child_count(std::uint32_t rel_rank,
 
 template <typename T>
 struct ReducePartialAm;
+template <typename T>
+struct ReduceResultAm;
 
 namespace array_detail {
 
@@ -311,6 +374,20 @@ template <typename T>
 void reduce_finish(const Darc<ArrayState<T>>& state, std::uint64_t id,
                    typename ArrayState<T>::ReduceNode&& done) {
   if (done.root) {
+    if (done.bcast) {
+      // Collective root: fan the combined value back down to every other
+      // team member before completing locally (the receivers' promises are
+      // parked in pending_results under the same id).
+      ArrayState<T>& st = *state;
+      const std::size_t size = st.team.size();
+      for (std::uint32_t r = 1; r < size; ++r) {
+        ReduceResultAm<T> out;
+        out.state = state;
+        out.id = id;
+        out.value = done.acc;
+        st.world->engine().send_forget(st.team.world_pe(r), std::move(out));
+      }
+    }
     done.promise.set_value(std::move(done.acc));
     return;
   }
@@ -348,7 +425,7 @@ void reduce_contribute(const Darc<ArrayState<T>>& state, std::uint64_t id,
 template <typename T>
 void reduce_node_init(const Darc<ArrayState<T>>& state, std::uint64_t id,
                       std::int64_t count, std::uint32_t parent_rank,
-                      bool root, Promise<T> promise) {
+                      bool root, Promise<T> promise, bool bcast = false) {
   ArrayState<T>& st = *state;
   typename ArrayState<T>::ReduceNode done;
   {
@@ -357,6 +434,7 @@ void reduce_node_init(const Darc<ArrayState<T>>& state, std::uint64_t id,
     node.remaining += count;
     node.parent_rank = parent_rank;
     node.root = root;
+    node.bcast = bcast;
     node.promise = std::move(promise);
     node.init = true;
     if (node.remaining != 0) return;
@@ -364,6 +442,57 @@ void reduce_node_init(const Darc<ArrayState<T>>& state, std::uint64_t id,
     st.reduce_coord->nodes.erase(id);
   }
   reduce_finish<T>(state, id, std::move(done));
+}
+
+/// Serial owner-side reduction scan over local slots [lo, hi) — the
+/// per-element cost *is* the reduction, so mode and op dispatch are hoisted
+/// out of the loop.  Atomic modes read through relaxed atomic_refs
+/// (tear-free; a reduction racing with updates promises only a value-level
+/// snapshot, never ordering).  LocalLock holds the PE-wide shared lock for
+/// the whole scan (elements are then read directly — apply_one would
+/// re-acquire the same lock and self-deadlock); the remaining modes read
+/// the slab directly, which vectorizes.  Shared by the one-sided tree
+/// reduce (ReduceStartAm) and the distributed-iterator reduce terminal.
+template <typename T>
+T local_reduce_scan(ArrayState<T>& st, ReduceOp op, std::size_t lo,
+                    std::size_t hi) {
+  T acc = reduce_identity<T>(op);
+  std::optional<std::shared_lock<std::shared_mutex>> lock;
+  if (st.mode == ArrayMode::kLocalLock) lock.emplace(*st.local_lock);
+  auto slab = st.local_slab();
+  auto scan = [&](auto read) {
+    switch (op) {
+      case ReduceOp::kSum:
+        for (std::size_t i = lo; i < hi; ++i) acc = acc + read(i);
+        break;
+      case ReduceOp::kProd:
+        for (std::size_t i = lo; i < hi; ++i) acc = acc * read(i);
+        break;
+      case ReduceOp::kMin:
+        for (std::size_t i = lo; i < hi; ++i) acc = std::min(acc, read(i));
+        break;
+      case ReduceOp::kMax:
+        for (std::size_t i = lo; i < hi; ++i) acc = std::max(acc, read(i));
+        break;
+    }
+  };
+  if (st.mode == ArrayMode::kAtomicNative ||
+      st.mode == ArrayMode::kAtomicGeneric) {
+    if constexpr (kNativeAtomicCapable<T>) {
+      scan([&](std::size_t i) {
+        return std::atomic_ref<T>(slab[i]).load(std::memory_order_relaxed);
+      });
+    } else {
+      // Generic-atomic over a type whose plain loads could tear: take the
+      // per-element byte lock.
+      scan([&](std::size_t i) {
+        return apply_one<T>(st, i, OpCode::kLoad, T{});
+      });
+    }
+  } else {
+    scan([&](std::size_t i) { return slab[i]; });
+  }
+  return acc;
 }
 
 }  // namespace array_detail
@@ -410,52 +539,7 @@ struct ReduceStartAm {
     }
 
     const auto [lo, hi] = st.local_view_range(view_start, view_len);
-    // Owner-side scan — the per-element cost *is* the reduction, so the
-    // mode and op dispatch are hoisted out of the loop.  Atomic modes read
-    // through relaxed atomic_refs: tear-free, and a reduction racing with
-    // updates promises only a value-level snapshot, never ordering.
-    // LocalLock holds the PE-wide shared lock for the whole scan (elements
-    // are then read directly — apply_one would re-acquire the same lock
-    // and self-deadlock); the remaining modes read the slab directly,
-    // which vectorizes.
-    T acc = reduce_identity<T>(op);
-    {
-      std::optional<std::shared_lock<std::shared_mutex>> lock;
-      if (st.mode == ArrayMode::kLocalLock) lock.emplace(*st.local_lock);
-      auto slab = st.local_slab();
-      auto scan = [&](auto read) {
-        switch (op) {
-          case ReduceOp::kSum:
-            for (std::size_t i = lo; i < hi; ++i) acc = acc + read(i);
-            break;
-          case ReduceOp::kProd:
-            for (std::size_t i = lo; i < hi; ++i) acc = acc * read(i);
-            break;
-          case ReduceOp::kMin:
-            for (std::size_t i = lo; i < hi; ++i) acc = std::min(acc, read(i));
-            break;
-          case ReduceOp::kMax:
-            for (std::size_t i = lo; i < hi; ++i) acc = std::max(acc, read(i));
-            break;
-        }
-      };
-      if (st.mode == ArrayMode::kAtomicNative ||
-          st.mode == ArrayMode::kAtomicGeneric) {
-        if constexpr (kNativeAtomicCapable<T>) {
-          scan([&](std::size_t i) {
-            return std::atomic_ref<T>(slab[i]).load(std::memory_order_relaxed);
-          });
-        } else {
-          // Generic-atomic over a type whose plain loads could tear: take
-          // the per-element byte lock.
-          scan([&](std::size_t i) {
-            return array_detail::apply_one<T>(st, i, OpCode::kLoad, T{});
-          });
-        }
-      } else {
-        scan([&](std::size_t i) { return slab[i]; });
-      }
-    }
+    const T acc = array_detail::local_reduce_scan<T>(st, op, lo, hi);
     array_detail::reduce_contribute<T>(state, id, op, acc);
   }
 };
@@ -482,6 +566,129 @@ struct ReducePartialAm {
     array_detail::reduce_contribute<T>(state, id, op, value);
   }
 };
+
+/// The root's combined value of a *collective* reduction travelling back
+/// down to one team member: pops the promise this PE parked under the
+/// collective id and completes it.  Inline (kRuntimeInternal) — a map
+/// erase and a promise fulfilment.
+template <typename T>
+struct ReduceResultAm {
+  static constexpr bool kRuntimeInternal = true;
+
+  Darc<ArrayState<T>> state;
+  std::uint64_t id = 0;
+  T value{};
+
+  template <class Ar>
+  void serialize(Ar& ar) {
+    ar(state, id, value);
+  }
+
+  void exec(AmContext&) {
+    ArrayState<T>& st = *state;
+    Promise<T> promise;
+    {
+      std::lock_guard lock(st.reduce_coord->mu);
+      auto it = st.reduce_coord->pending_results.find(id);
+      if (it == st.reduce_coord->pending_results.end()) {
+        throw Error("collective reduce result with no parked promise");
+      }
+      promise = std::move(it->second);
+      st.reduce_coord->pending_results.erase(it);
+    }
+    promise.set_value(std::move(value));
+  }
+};
+
+namespace array_detail {
+
+/// Launch an asynchronous binomial-combining-tree reduction over the view,
+/// rooted at the calling PE, completing `promise` with the combined value.
+/// The root arms its own fold node, then fans a start AM out to every PE in
+/// one wave (each node's tree position is implied by its relative rank);
+/// owner-side partials fold up the tree as ReducePartialAm messages, so no
+/// task ever blocks on a child and no single hot root absorbs size-1
+/// partials under a mutex.  Shared by ArrayBase::reduce and the lazy
+/// chain's reduce terminal (the tree starts from whatever context observes
+/// the chain's last chunk completion).
+template <typename T>
+void start_tree_reduce(const Darc<ArrayState<T>>& state,
+                       std::size_t view_start, std::size_t view_len,
+                       ReduceOp op, Promise<T> promise) {
+  ArrayState<T>& st = *state;
+  const std::size_t size = st.team.size();
+  std::uint32_t width = 1;
+  while (width < size) width <<= 1;
+  const auto root = static_cast<std::uint32_t>(st.my_rank());
+
+  std::uint64_t id;
+  {
+    std::lock_guard lock(st.reduce_coord->mu);
+    id = (static_cast<std::uint64_t>(root) << 40) |
+         st.reduce_coord->next_seq++;
+  }
+  const auto nkids =
+      static_cast<std::int64_t>(reduce_child_count(0, width, size));
+  reduce_node_init<T>(state, id, nkids + 1, root, true, std::move(promise));
+
+  for (std::uint32_t r = 0; r < size; ++r) {
+    ReduceStartAm<T> am;
+    am.state = state;
+    am.op = op;
+    am.view_start = view_start;
+    am.view_len = view_len;
+    am.rel_rank = r;
+    am.width = r == 0 ? width : r & (~r + 1);
+    am.root_rank = root;
+    am.id = id;
+    const std::size_t abs = (root + r) % size;
+    st.world->engine().send_forget(st.team.world_pe(abs), std::move(am));
+  }
+}
+
+/// Collective combine of per-PE partials (the distributed-iterator reduce
+/// terminal): every team member calls with its local partial, and every
+/// member's future resolves to the team-wide combined value.  The tree is
+/// rooted at team rank 0; ids come from a per-state collective counter
+/// (same on every PE because collectives execute in team order, the same
+/// ordering contract as barriers), so no start fan-out is needed at all —
+/// each PE knows its position and contributes directly, and the root
+/// broadcasts the result back down as ReduceResultAm.
+template <typename T>
+Future<T> collective_combine(const Darc<ArrayState<T>>& state, ReduceOp op,
+                             T partial) {
+  ArrayState<T>& st = *state;
+  const std::size_t size = st.team.size();
+  const auto rel = static_cast<std::uint32_t>(st.my_rank());
+  std::uint32_t width = 1;
+  while (width < size) width <<= 1;
+  const std::uint32_t my_width = rel == 0 ? width : rel & (~rel + 1);
+
+  Promise<T> promise;
+  auto fut = promise.future();
+  std::uint64_t id;
+  {
+    std::lock_guard lock(st.reduce_coord->mu);
+    id = kCollectiveReduceId | st.reduce_coord->next_collective++;
+    // Park the result promise before contributing: the root's broadcast
+    // can only fire after this PE's partial reached it, but registering
+    // first keeps the ordering obvious.
+    if (rel != 0) st.reduce_coord->pending_results.emplace(id, promise);
+  }
+  const auto nkids =
+      static_cast<std::int64_t>(reduce_child_count(rel, my_width, size));
+  if (rel == 0) {
+    reduce_node_init<T>(state, id, nkids + 1, 0, /*root=*/true,
+                        std::move(promise), /*bcast=*/true);
+  } else {
+    reduce_node_init<T>(state, id, nkids + 1, rel - my_width, /*root=*/false,
+                        Promise<T>{});
+  }
+  reduce_contribute<T>(state, id, op, std::move(partial));
+  return fut;
+}
+
+}  // namespace array_detail
 
 /// Collective fill helper.
 template <typename T>
@@ -517,8 +724,10 @@ struct ArrayFillAm {
 #define LAMELLAR_REGISTER_ARRAY_ELEMENT(T)              \
   LAMELLAR_REGISTER_AM(::lamellar::ArrayOpAm<T>);       \
   LAMELLAR_REGISTER_AM(::lamellar::ArrayCexAm<T>);      \
+  LAMELLAR_REGISTER_AM(::lamellar::ArrayFusedAm<T>);    \
   LAMELLAR_REGISTER_AM(::lamellar::ArrayPutAm<T>);      \
   LAMELLAR_REGISTER_AM(::lamellar::ArrayGetAm<T>);      \
   LAMELLAR_REGISTER_AM(::lamellar::ReduceStartAm<T>);   \
   LAMELLAR_REGISTER_AM(::lamellar::ReducePartialAm<T>); \
+  LAMELLAR_REGISTER_AM(::lamellar::ReduceResultAm<T>);  \
   LAMELLAR_REGISTER_AM(::lamellar::ArrayFillAm<T>)

@@ -78,6 +78,34 @@ constexpr bool kNativeAtomicCapable =
 
 enum class ReduceOp : std::uint8_t { kSum, kProd, kMin, kMax };
 
+/// One stage of a fused element-op chain as it travels on the wire: the op
+/// plus whether its operand region carries one value per element or a single
+/// shared value.  POD (2 bytes, alignment 1) so a chain's stage table
+/// serializes as a plain element span.
+struct FusedStage {
+  OpCode op = OpCode::kAdd;
+  std::uint8_t per_elem = 0;
+};
+static_assert(std::is_trivially_copyable_v<FusedStage> &&
+              sizeof(FusedStage) == 2);
+
+/// One recorded stage of a lazy chain on the caller side: the op plus its
+/// operand source — a shared scalar, or a borrowed pointer into the
+/// caller's per-element value buffer (which must stay alive until the
+/// chain group flushes; see DESIGN.md §11).
+template <typename T>
+struct FusedStageRec {
+  OpCode op = OpCode::kAdd;
+  bool per_elem = false;
+  T scalar{};               ///< shared operand when !per_elem
+  const T* vals = nullptr;  ///< caller operand buffer when per_elem
+};
+
+/// Collective reductions (iterator reduce) allocate their tree ids in a
+/// dedicated space so they can never collide with one-sided reduce ids
+/// ((root << 40) | seq): PEs number in 32 bits, so bit 62 is unreachable.
+inline constexpr std::uint64_t kCollectiveReduceId = 1ull << 62;
+
 template <typename T>
 struct ArrayState {
   World* world = nullptr;
@@ -98,6 +126,10 @@ struct ArrayState {
   obs::Counter* ops_batched = nullptr;
   obs::Counter* chunk_bytes_inline = nullptr;
   obs::Counter* plan_allocs = nullptr;
+  // Lazy-chain fusion metrics: chain length per flushed group, and the
+  // number of eager AM passes each fused dispatch avoided.
+  obs::Counter* fused_ams_saved = nullptr;
+  obs::Histogram* fused_chain_len = nullptr;
 
   /// One in-flight node of an async combining-tree reduction on this PE.
   /// The root fans every ReduceStartAm out directly, so a fast child's
@@ -114,12 +146,18 @@ struct ArrayState {
     bool init = false;     ///< start arrived: remaining/parent/root valid
     bool touched = false;  ///< acc holds at least one folded value
     bool root = false;
+    bool bcast = false;  ///< root of a collective: fan result to the team
     Promise<T> promise;  ///< meaningful only when `root`
   };
   struct ReduceCoord {
     std::mutex mu;
     std::unordered_map<std::uint64_t, ReduceNode> nodes;
     std::uint64_t next_seq = 0;
+    /// Collective (iterator) reductions: every PE draws the same id from
+    /// its own ordered counter and non-roots park their result promise
+    /// here until the root's ReduceResultAm broadcast lands.
+    std::uint64_t next_collective = 0;
+    std::unordered_map<std::uint64_t, Promise<T>> pending_results;
   };
   std::unique_ptr<ReduceCoord> reduce_coord =
       std::make_unique<ReduceCoord>();
@@ -451,6 +489,139 @@ void apply_batch_sink(ArrayState<T>& st, OpCode op, bool fetch, PairMode pair,
     const T prev = apply_one(st, local, op, operand);
     if (fetch) results[j] = prev;
   }
+}
+
+/// Apply a fused op chain to a batch of local slots: per element, one load,
+/// a fold of every stage through `combine`, one store — regardless of chain
+/// length.  `ops` is the concatenated operand region (per-element stages
+/// contribute locals.size() values, shared stages one).  When `results` is
+/// non-null, results[j] receives the *post-chain* value of element j (the
+/// chain's gather terminal observes what it just wrote; a pure gather is an
+/// empty chain).  Safety regimes match the mode: kAtomicNative folds the
+/// whole chain in a single CAS loop (the chain is element-atomic — stronger
+/// than k separate atomic ops), kAtomicGeneric holds the element byte lock
+/// across the fold, kLocalLock takes the PE-wide lock once for the batch,
+/// kUnsafe/kReadOnly use relaxed tear-free accesses like apply_one.
+template <typename T>
+void apply_fused_sink(ArrayState<T>& st, std::span<const FusedStage> stages,
+                      std::span<const T> ops,
+                      std::span<const std::uint64_t> locals, T* results) {
+  const std::size_t n = locals.size();
+  if (n == 0) return;
+  const bool mutates = !stages.empty();
+  if (st.mode == ArrayMode::kReadOnly && mutates) {
+    throw Error("fused chain with mutating stages on ReadOnlyArray");
+  }
+
+  // One batch's worth of per-element safety cost, charged once: the fused
+  // pass performs a single guarded read-modify-write per element no matter
+  // how many stages fold into it.
+  auto& lamellae = st.world->lamellae();
+  const auto& params = lamellae.params();
+  double cost = 0.0;
+  switch (st.mode) {
+    case ArrayMode::kAtomicNative:
+      cost = params.atomic_store_ns * static_cast<double>(n);
+      break;
+    case ArrayMode::kAtomicGeneric:
+      cost = params.generic_mutex_ns * static_cast<double>(n);
+      break;
+    case ArrayMode::kLocalLock:
+      cost = params.rwlock_acquire_ns +
+             static_cast<double>(n * sizeof(T)) / params.memcpy_bytes_per_ns;
+      break;
+    default:
+      cost = static_cast<double>(n * sizeof(T)) / params.memcpy_bytes_per_ns;
+      break;
+  }
+  lamellae.charge(cost);
+
+  auto fold = [&](std::size_t j, T cur) {
+    std::size_t ob = 0;
+    for (const FusedStage& s : stages) {
+      cur = combine(s.op, cur, s.per_elem != 0 ? ops[ob + j] : ops[ob]);
+      ob += s.per_elem != 0 ? n : 1;
+    }
+    return cur;
+  };
+
+  T* slab = st.local_slab().data();
+  switch (st.mode) {
+    case ArrayMode::kUnsafe:
+    case ArrayMode::kReadOnly: {
+      for (std::size_t j = 0; j < n; ++j) {
+        T* slot = slab + locals[j];
+        T next;
+        if constexpr (kNativeAtomicCapable<T>) {
+          std::atomic_ref<T> ref(*slot);
+          next = fold(j, ref.load(std::memory_order_relaxed));
+          if (mutates) ref.store(next, std::memory_order_relaxed);
+        } else {
+          next = fold(j, *slot);
+          if (mutates) *slot = next;
+        }
+        if (results != nullptr) results[j] = next;
+      }
+      return;
+    }
+    case ArrayMode::kAtomicNative: {
+      if constexpr (kNativeAtomicCapable<T>) {
+        if (stages.size() == 1) {
+          // One stage has nothing to fold: the dedicated native RMW
+          // (fetch_add &c. in apply_one) beats the load+CAS round trip the
+          // general chain loop pays.
+          const FusedStage s = stages[0];
+          for (std::size_t j = 0; j < n; ++j) {
+            const T operand = s.per_elem != 0 ? ops[j] : ops[0];
+            const T prev = apply_one<T>(st, locals[j], s.op, operand);
+            if (results != nullptr) results[j] = combine(s.op, prev, operand);
+          }
+          return;
+        }
+        for (std::size_t j = 0; j < n; ++j) {
+          std::atomic_ref<T> ref(slab[locals[j]]);
+          T cur = ref.load(std::memory_order_acquire);
+          T next = fold(j, cur);
+          if (mutates) {
+            while (!ref.compare_exchange_weak(cur, next,
+                                              std::memory_order_acq_rel)) {
+              next = fold(j, cur);
+            }
+          }
+          if (results != nullptr) results[j] = next;
+        }
+        return;
+      }
+      throw Error("native atomic mode on incompatible element type");
+    }
+    case ArrayMode::kAtomicGeneric: {
+      for (std::size_t j = 0; j < n; ++j) {
+        ByteLockGuard guard(st.elem_locks[locals[j]]);
+        T* slot = slab + locals[j];
+        const T next = fold(j, *slot);
+        if (mutates) *slot = next;
+        if (results != nullptr) results[j] = next;
+      }
+      return;
+    }
+    case ArrayMode::kLocalLock: {
+      std::shared_lock<std::shared_mutex> read;
+      std::unique_lock<std::shared_mutex> write;
+      if (mutates) {
+        write = std::unique_lock(*st.local_lock);
+      } else {
+        read = std::shared_lock(*st.local_lock);
+      }
+      for (std::size_t j = 0; j < n; ++j) {
+        T* slot = slab + locals[j];
+        const T next = fold(j, *slot);
+        if (mutates) *slot = next;
+        if (results != nullptr) results[j] = next;
+      }
+      return;
+    }
+  }
+  throw Error("unknown array mode");
 }
 
 }  // namespace array_detail

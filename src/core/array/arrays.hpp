@@ -21,6 +21,7 @@
 
 #include "core/array/array_ams.hpp"
 #include "core/array/batch.hpp"
+#include "core/array/expr.hpp"
 #include "core/array/iterators.hpp"
 
 namespace lamellar {
@@ -54,6 +55,8 @@ Darc<ArrayState<T>> create_state(World& world, const Team& team,
   st.ops_batched = &reg.counter("array.ops_batched");
   st.chunk_bytes_inline = &reg.counter("array.chunk_bytes_inline");
   st.plan_allocs = &reg.counter("array.plan_allocs");
+  st.fused_ams_saved = &reg.counter("array.fused_ams_saved");
+  st.fused_chain_len = &reg.histogram("array.fused_chain_len");
   // The symmetric heap may recycle memory: zero the slab before publishing.
   auto slab = st.data.unsafe_local_slice();
   std::fill(slab.begin(), slab.end(), T{});
@@ -244,19 +247,28 @@ class ArrayBase {
   /// One-sided parallel iteration over the calling PE's local elements.
   [[nodiscard]] auto local_iter() const {
     return LocalIter<T>(state_, view_start_, view_len_, /*distributed=*/false,
-                        array_detail::IdentityPipe{}, {}, true);
+                        array_detail::IdentityPipe{}, {}, nullptr);
   }
 
   /// Collective parallel iteration: every member PE iterates its own data.
   [[nodiscard]] auto dist_iter() const {
     return LocalIter<T>(state_, view_start_, view_len_, /*distributed=*/true,
-                        array_detail::IdentityPipe{}, {}, true);
+                        array_detail::IdentityPipe{}, {}, nullptr);
   }
 
   /// Serial iteration over the entire (view of the) array from this PE.
   [[nodiscard]] OneSidedIter<T> onesided_iter(
       std::size_t buffer_elems = 4096) const {
     return OneSidedIter<T>(state_, view_start_, view_len_, buffer_elems);
+  }
+
+  // ---- lazy expression chains (DESIGN.md §11) ----
+
+  /// A recording handle: element ops on it build a fused pipeline instead
+  /// of dispatching; materialize()/gather()/reduce() lower each recorded
+  /// group into one plan pass and one AM per destination lane.
+  [[nodiscard]] LazyChain<T> lazy() const {
+    return LazyChain<T>(state_, view_start_, view_len_);
   }
 
   // ---- reductions ----
@@ -269,38 +281,10 @@ class ArrayBase {
   /// single hot root absorbs size-1 partials under a mutex
   /// (ReduceStartAm::exec).
   Future<T> reduce(ReduceOp op) const {
-    ArrayState<T>& st = *state_;
-    const std::size_t size = st.team.size();
-    std::uint32_t width = 1;
-    while (width < size) width <<= 1;
-    const auto root = static_cast<std::uint32_t>(st.my_rank());
-
     Promise<T> promise;
     auto fut = promise.future();
-    std::uint64_t id;
-    {
-      std::lock_guard lock(st.reduce_coord->mu);
-      id = (static_cast<std::uint64_t>(root) << 40) |
-           st.reduce_coord->next_seq++;
-    }
-    const auto nkids =
-        static_cast<std::int64_t>(reduce_child_count(0, width, size));
-    array_detail::reduce_node_init<T>(state_, id, nkids + 1, root, true,
+    array_detail::start_tree_reduce<T>(state_, view_start_, view_len_, op,
                                       std::move(promise));
-
-    for (std::uint32_t r = 0; r < size; ++r) {
-      ReduceStartAm<T> am;
-      am.state = state_;
-      am.op = op;
-      am.view_start = view_start_;
-      am.view_len = view_len_;
-      am.rel_rank = r;
-      am.width = r == 0 ? width : r & (~r + 1);
-      am.root_rank = root;
-      am.id = id;
-      const std::size_t abs = (root + r) % size;
-      st.world->engine().send_forget(st.team.world_pe(abs), std::move(am));
-    }
     return fut;
   }
 

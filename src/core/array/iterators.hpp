@@ -140,14 +140,14 @@ class LocalIter {
  public:
   LocalIter(Darc<ArrayState<T>> state, std::size_t view_start,
             std::size_t view_len, bool distributed, Pipe pipe,
-            array_detail::Selection sel, bool pure_positions)
+            array_detail::Selection sel, const char* impure_adapter)
       : state_(std::move(state)),
         view_start_(view_start),
         view_len_(view_len),
         distributed_(distributed),
         pipe_(std::move(pipe)),
         sel_(sel),
-        pure_positions_(pure_positions) {}
+        impure_adapter_(impure_adapter) {}
 
   /// Transform each element.
   template <typename F>
@@ -156,7 +156,7 @@ class LocalIter {
     return LocalIter<T, NewPipe>(std::move(state_), view_start_, view_len_,
                                  distributed_,
                                  NewPipe{std::move(pipe_), std::move(fn)},
-                                 sel_, false);
+                                 sel_, first_impure("map"));
   }
 
   /// Keep elements satisfying `pred`.
@@ -166,7 +166,7 @@ class LocalIter {
     return LocalIter<T, NewPipe>(std::move(state_), view_start_, view_len_,
                                  distributed_,
                                  NewPipe{std::move(pipe_), std::move(pred)},
-                                 sel_, false);
+                                 sel_, first_impure("filter"));
   }
 
   /// Pair each element with its *global* index.
@@ -174,7 +174,7 @@ class LocalIter {
     using NewPipe = array_detail::EnumeratePipe<Pipe>;
     return LocalIter<T, NewPipe>(std::move(state_), view_start_, view_len_,
                                  distributed_, NewPipe{std::move(pipe_)},
-                                 sel_, false);
+                                 sel_, first_impure("enumerate"));
   }
 
   LocalIter skip(std::size_t n) && {
@@ -254,14 +254,64 @@ class LocalIter {
     return acc;
   }
 
+  /// Reduce the piped elements with `op`.  A plain `dist_iter().reduce(...)`
+  /// (identity pipeline, whole view) folds each PE's slab through the same
+  /// hoisted-dispatch scan the tree reduce uses; adapted pipelines fold
+  /// serially through the pipe.  Distributed iterators combine the per-PE
+  /// partials through ONE collective binomial tree (every member rendezvous
+  /// on a team-ordered id and the root broadcasts the result back), so the
+  /// whole combinator costs one tree instead of size() independent ones.
+  Future<T> reduce(ReduceOp op) && {
+    ArrayState<T>& st = *state_;
+    T partial;
+    bool fast = false;
+    if constexpr (std::is_same_v<Pipe, array_detail::IdentityPipe>) {
+      if (sel_.skip == 0 && sel_.step == 1 &&
+          sel_.take == static_cast<std::size_t>(-1)) {
+        auto [lo, hi] = st.local_view_range(view_start_, view_len_);
+        partial = array_detail::local_reduce_scan<T>(st, op, lo, hi);
+        fast = true;
+      }
+    }
+    if (!fast) {
+      T acc = reduce_identity<T>(op);
+      const std::size_t n = sel_.count(local_len());
+      const std::size_t base = local_base();
+      for (std::size_t k = 0; k < n; ++k) {
+        const std::size_t local = base + sel_.position(k);
+        const global_index gi = st.map.global_of(st.my_rank(), local);
+        pipe_.feed(gi, array_detail::read_one<T>(st, local), [&](auto&& v) {
+          acc = reduce_fold<T>(op, acc, static_cast<T>(v));
+        });
+      }
+      partial = acc;
+    }
+    if (!distributed_) return ready_future(partial);
+    return array_detail::collective_combine<T>(state_, op, partial);
+  }
+
+  Future<T> sum() && { return std::move(*this).reduce(ReduceOp::kSum); }
+  Future<T> prod() && { return std::move(*this).reduce(ReduceOp::kProd); }
+  Future<T> min() && { return std::move(*this).reduce(ReduceOp::kMin); }
+  Future<T> max() && { return std::move(*this).reduce(ReduceOp::kMax); }
+
   [[nodiscard]] bool is_distributed() const { return distributed_; }
 
  private:
+  // Selectors act on source positions, so they are illegal once the value
+  // pipeline has consumed the indexing; name the FIRST offending adapter so
+  // the diagnosis points at the composition site, not the dispatch site.
   void require_positions(const char* what) const {
-    if (!pure_positions_) {
-      throw Error(std::string(what) +
-                  " must precede map/filter/enumerate on parallel iterators");
+    if (impure_adapter_ != nullptr) {
+      throw Error(std::string(what) + " must precede " + impure_adapter_ +
+                  " on parallel iterators (position selectors apply to the "
+                  "source index space; move ." +
+                  what + "(...) before ." + impure_adapter_ + "(...))");
     }
+  }
+
+  [[nodiscard]] const char* first_impure(const char* self) const {
+    return impure_adapter_ != nullptr ? impure_adapter_ : self;
   }
 
   // The contiguous portion of the local slab covered by the view.
@@ -279,7 +329,7 @@ class LocalIter {
   bool distributed_;
   Pipe pipe_;
   array_detail::Selection sel_;
-  bool pure_positions_;
+  const char* impure_adapter_;  // nullptr while the index space is intact
 };
 
 /// Serial one-sided iterator over the *entire* array from the calling PE,

@@ -224,7 +224,7 @@ std::uint64_t soak_round(World& world, std::size_t round, const Options& opt,
     for (std::size_t op = 0; op < opt.ops; ++op) {
       const std::uint64_t r = rng.next();
       const pe_id dst = static_cast<pe_id>(rng.next() % npes);
-      switch (r % 12) {
+      switch (r % 13) {
         case 0: {  // small checked ping (in-place aggregated record)
           const std::uint64_t x = rng.next();
           checked.emplace_back(world.exec_am_pe(dst, PingAm{x}), mix64(x));
@@ -332,6 +332,30 @@ std::uint64_t soak_round(World& world, std::size_t round, const Options& opt,
           SOAK_CHECK(got.size() == n, "batch fetch size", got.size(), n, me,
                      round);
           array_adds += n * v;
+          break;
+        }
+        case 12: {  // fused lazy chain: random-length recorder groups
+                    // lower into one AM per destination lane; commutative
+                    // adds keep the round's conservation total exact, and
+                    // the terminal alternates materialize / checksum-sized
+                    // gather so both completion paths soak.
+          const std::size_t n = 16 + rng.next() % 48;
+          std::vector<global_index> idxs(n);
+          for (auto& i : idxs) i = rng.next() % kSoakArrLen;
+          const std::size_t chain_len = 1 + rng.next() % 4;
+          auto chain = arr.lazy();
+          for (std::size_t s = 0; s < chain_len; ++s) {
+            const std::uint64_t v = 1 + rng.next() % 8;
+            chain.add(idxs, v);
+            array_adds += n * v;
+          }
+          if (rng.next() % 2 == 0) {
+            world.block_on(chain.materialize());
+          } else {
+            auto got = world.block_on(chain.gather(idxs));
+            SOAK_CHECK(got.size() == n, "fused gather size", got.size(), n,
+                       me, round);
+          }
           break;
         }
         default: {  // periodic settle: bound outstanding work mid-round
@@ -445,6 +469,7 @@ void soak_main(World& world, const Options& opt) {
   const auto t0 = std::chrono::steady_clock::now();
   std::uint64_t my_total_adds = 0;
   std::uint64_t plan_allocs_warm = 0;
+  ScratchArena::Mark arena_mark_warm;
   std::size_t round = 0;
   for (;;) {
     my_total_adds += soak_round(world, round, opt, atoms_off, scratch_off,
@@ -459,7 +484,9 @@ void soak_main(World& world, const Options& opt) {
 
     // Steady-state allocation discipline: the batch planner's scratch arena
     // warms up during the first two rounds and must never grow again —
-    // array.plan_allocs frozen from round 2 onward (DESIGN.md §9).
+    // array.plan_allocs frozen from round 2 onward (DESIGN.md §9).  The
+    // fused-chain stream (case 12) dispatches through the same arena, so
+    // this freeze also proves fused lowering is allocation-free.
     const std::uint64_t plan_allocs =
         world.metrics().counter("array.plan_allocs").get();
     if (round == 2) {
@@ -467,6 +494,20 @@ void soak_main(World& world, const Options& opt) {
     } else if (round > 2) {
       SOAK_CHECK(plan_allocs == plan_allocs_warm, "plan_allocs steady state",
                  plan_allocs, plan_allocs_warm, me, round);
+    }
+
+    // Fused-chain arena frames fully reset: with no frame open at the
+    // quiesce point, this thread's arena cursor must sit exactly where the
+    // first quiesce left it — a leaked ArenaFrame (e.g. a fused dispatch
+    // that grew the arena mid-frame and never rewound) moves it.
+    const auto arena_mark = ScratchArena::local().mark();
+    if (round == 1) {
+      arena_mark_warm = arena_mark;
+    } else {
+      SOAK_CHECK(arena_mark.block == arena_mark_warm.block &&
+                     arena_mark.offset == arena_mark_warm.offset,
+                 "arena frames reset", arena_mark.offset,
+                 arena_mark_warm.offset, me, round);
     }
 
     // Fabric-atomic conservation: the sum of all counter words across all

@@ -1,0 +1,456 @@
+// Lazy expression fusion tests (DESIGN.md §11): a recorded chain of k
+// element ops lowers into ONE plan pass and ONE AM per destination lane,
+// stages fold in program order atomically per element, gather returns
+// post-chain values in caller order, and the tree reduce terminates a
+// fused chain without re-entering the eager path.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+#include <vector>
+
+#include "lamellar.hpp"
+
+namespace {
+
+using namespace lamellar;
+
+using u64 = std::uint64_t;
+
+std::vector<global_index> all_indices(std::size_t len) {
+  std::vector<global_index> idxs(len);
+  std::iota(idxs.begin(), idxs.end(), 0);
+  return idxs;
+}
+
+// ---------------------------------------------------------------------------
+// The headline contract: one AM per destination lane, independent of k
+// ---------------------------------------------------------------------------
+
+TEST(Fused, OneAmPerDestinationLaneVsEagerK) {
+  run_world(4, [](World& world) {
+    auto arr = AtomicArray<u64>::create(world, 64, Distribution::kBlock);
+    arr.fill(0);
+    const auto idxs = all_indices(arr.len());
+    constexpr int kChain = 4;
+
+    if (world.my_pe() == 0) {
+      // Warm both paths once so darc/registry traffic settles.
+      for (int s = 0; s < kChain; ++s) world.block_on(arr.batch_add(idxs, 1));
+      world.block_on(
+          arr.lazy().add(idxs, 1).add(idxs, 1).add(idxs, 1).add(idxs, 1)
+              .materialize());
+
+      auto& sent = world.metrics().counter("am.sent_remote");
+      auto& saved = world.metrics().counter("array.fused_ams_saved");
+
+      const u64 eager_before = sent.get();
+      for (int s = 0; s < kChain; ++s) world.block_on(arr.batch_add(idxs, 1));
+      const u64 eager_delta = sent.get() - eager_before;
+
+      const u64 fused_before = sent.get();
+      const u64 saved_before = saved.get();
+      world.block_on(
+          arr.lazy().add(idxs, 1).add(idxs, 1).add(idxs, 1).add(idxs, 1)
+              .materialize());
+      const u64 fused_delta = sent.get() - fused_before;
+
+      // 3 remote lanes: eager pays kChain passes over them, fused pays one.
+      EXPECT_EQ(fused_delta, 3u);
+      EXPECT_EQ(eager_delta, static_cast<u64>(kChain) * 3u);
+      EXPECT_EQ(saved.get() - saved_before, 3u * (kChain - 1));
+    }
+    world.barrier();
+    world.wait_all();
+
+    // 8 warmup + 4 eager + 8 fused increments of every element.
+    EXPECT_EQ(world.block_on(arr.max()), 16u);
+    EXPECT_EQ(world.block_on(arr.min()), 16u);
+    world.barrier();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Chain semantics: program order within a group, post-chain gather
+// ---------------------------------------------------------------------------
+
+TEST(Fused, StagesFoldInProgramOrder) {
+  run_world(4, [](World& world) {
+    auto arr = AtomicArray<u64>::create(world, 64, Distribution::kCyclic);
+    arr.fill(0);
+    if (world.my_pe() == 0) {
+      const auto idxs = all_indices(arr.len());
+      // ((0 store 5) + 3) * 2 = 16 — order-sensitive.
+      auto vals = world.block_on(arr.lazy()
+                                     .store(idxs, 5)
+                                     .add(idxs, 3)
+                                     .mul(idxs, 2)
+                                     .gather(idxs));
+      ASSERT_EQ(vals.size(), idxs.size());
+      for (u64 v : vals) EXPECT_EQ(v, 16u);
+    }
+    world.barrier();
+    EXPECT_EQ(world.block_on(arr.min()), 16u);
+    world.barrier();
+  });
+}
+
+TEST(Fused, GatherReturnsPostChainValuesInCallerOrder) {
+  run_world(4, [](World& world) {
+    auto arr = AtomicArray<u64>::create(world, 128, Distribution::kBlock);
+    arr.fill(0);
+    if (world.my_pe() == 0) {
+      std::vector<u64> base(arr.len());
+      std::iota(base.begin(), base.end(), 0);
+      world.block_on(arr.put(0, base));
+
+      // Shuffled indices exercise the fetch scatter path.
+      auto idxs = all_indices(arr.len());
+      std::mt19937_64 rng(42);
+      std::shuffle(idxs.begin(), idxs.end(), rng);
+
+      auto vals =
+          world.block_on(arr.lazy().mul(idxs, 3).add(idxs, 1).gather(idxs));
+      ASSERT_EQ(vals.size(), idxs.size());
+      for (std::size_t j = 0; j < idxs.size(); ++j) {
+        EXPECT_EQ(vals[j], idxs[j] * 3 + 1);
+      }
+    }
+    world.barrier();
+  });
+}
+
+TEST(Fused, MultiChunkPerRankGatherScattersCorrectly) {
+  RuntimeConfig cfg;
+  cfg.batch_op_limit = 8;  // force several chunks per destination rank
+  run_world(
+      4,
+      [](World& world) {
+        auto arr = AtomicArray<u64>::create(world, 256, Distribution::kBlock);
+        arr.fill(7);
+        if (world.my_pe() == 0) {
+          std::vector<global_index> idxs(200);
+          std::mt19937_64 rng(9);
+          for (auto& i : idxs) i = rng() % arr.len();
+          auto vals =
+              world.block_on(arr.lazy().add(idxs, 0).gather(idxs));
+          ASSERT_EQ(vals.size(), idxs.size());
+          for (u64 v : vals) EXPECT_EQ(v, 7u);
+        }
+        world.barrier();
+      },
+      cfg);
+}
+
+TEST(Fused, PureGatherIsFusedBatchLoad) {
+  run_world(4, [](World& world) {
+    auto arr = AtomicArray<u64>::create(world, 64, Distribution::kCyclic);
+    arr.fill(0);
+    std::vector<u64> base(arr.len());
+    if (world.my_pe() == 0) {
+      std::iota(base.begin(), base.end(), 100);
+      world.block_on(arr.put(0, base));
+    }
+    world.barrier();
+    const auto idxs = all_indices(arr.len());
+    auto vals = world.block_on(arr.lazy().gather(idxs));
+    ASSERT_EQ(vals.size(), idxs.size());
+    for (std::size_t j = 0; j < idxs.size(); ++j) {
+      EXPECT_EQ(vals[j], 100 + idxs[j]);
+    }
+    world.barrier();
+  });
+}
+
+TEST(Fused, PerElementOperandsRideTheSameAm) {
+  run_world(4, [](World& world) {
+    auto arr = AtomicArray<u64>::create(world, 96, Distribution::kBlock);
+    arr.fill(1);
+    if (world.my_pe() == 0) {
+      const auto idxs = all_indices(arr.len());
+      std::vector<u64> addends(idxs.size());
+      std::vector<u64> factors(idxs.size());
+      for (std::size_t j = 0; j < idxs.size(); ++j) {
+        addends[j] = j;
+        factors[j] = (j % 3) + 1;
+      }
+      auto vals = world.block_on(arr.lazy()
+                                     .add(idxs, std::span<const u64>(addends))
+                                     .mul(idxs, std::span<const u64>(factors))
+                                     .gather(idxs));
+      ASSERT_EQ(vals.size(), idxs.size());
+      for (std::size_t j = 0; j < idxs.size(); ++j) {
+        EXPECT_EQ(vals[j], (1 + addends[j]) * factors[j]);
+      }
+    }
+    world.barrier();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Group management: index-span changes, capacity splits, terminals
+// ---------------------------------------------------------------------------
+
+TEST(Fused, IndexSpanChangeSplitsGroups) {
+  run_world(4, [](World& world) {
+    auto arr = AtomicArray<u64>::create(world, 64, Distribution::kBlock);
+    arr.fill(0);
+    if (world.my_pe() == 0) {
+      const auto all = all_indices(arr.len());
+      std::vector<global_index> evens;
+      for (global_index i = 0; i < arr.len(); i += 2) evens.push_back(i);
+      // Two groups (commutative ops, so inter-group order is irrelevant).
+      auto chain = arr.lazy();
+      chain.add(all, 1).add(all, 2).add(evens, 10);
+      EXPECT_EQ(chain.groups(), 2u);
+      world.block_on(chain.materialize());
+      auto vals = world.block_on(arr.lazy().gather(all));
+      for (std::size_t j = 0; j < vals.size(); ++j) {
+        EXPECT_EQ(vals[j], 3u + (j % 2 == 0 ? 10u : 0u));
+      }
+    }
+    world.barrier();
+  });
+}
+
+TEST(Fused, ChainsLongerThanStageCapacitySplitTransparently) {
+  run_world(2, [](World& world) {
+    auto arr = AtomicArray<u64>::create(world, 32, Distribution::kBlock);
+    arr.fill(0);
+    if (world.my_pe() == 0) {
+      const auto idxs = all_indices(arr.len());
+      auto chain = arr.lazy();
+      const std::size_t n = LazyChain<u64>::kMaxStages + 5;
+      for (std::size_t s = 0; s < n; ++s) chain.add(idxs, 1);
+      EXPECT_EQ(chain.groups(), 2u);
+      world.block_on(chain.materialize());
+      EXPECT_EQ(world.block_on(arr.min()), n);
+    }
+    world.barrier();
+  });
+}
+
+TEST(Fused, ReduceTerminatesAChain) {
+  run_world(4, [](World& world) {
+    auto arr = AtomicArray<u64>::create(world, 64, Distribution::kCyclic);
+    arr.fill(2);
+    if (world.my_pe() == 0) {
+      const auto idxs = all_indices(arr.len());
+      // (2+1)*2 = 6 per element, then a tree-reduce over the view.
+      EXPECT_EQ(world.block_on(arr.lazy().add(idxs, 1).mul(idxs, 2).sum()),
+                6u * arr.len());
+    }
+    world.barrier();
+    EXPECT_EQ(world.block_on(arr.max()), 6u);
+    world.barrier();
+  });
+}
+
+TEST(Fused, DestructorFlushesFireAndForget) {
+  run_world(4, [](World& world) {
+    auto arr = AtomicArray<u64>::create(world, 64, Distribution::kBlock);
+    arr.fill(0);
+    if (world.my_pe() == 0) {
+      const auto idxs = all_indices(arr.len());
+      {
+        auto chain = arr.lazy();
+        chain.add(idxs, 3).add(idxs, 4);
+        // No terminal: destruction dispatches the open group.
+      }
+    }
+    world.wait_all();
+    world.barrier();
+    EXPECT_EQ(world.block_on(arr.min()), 7u);
+    world.barrier();
+  });
+}
+
+TEST(Fused, TerminalTwiceThrows) {
+  run_world(2, [](World& world) {
+    auto arr = AtomicArray<u64>::create(world, 16, Distribution::kBlock);
+    arr.fill(0);
+    if (world.my_pe() == 0) {
+      const auto idxs = all_indices(arr.len());
+      auto chain = arr.lazy();
+      chain.add(idxs, 1);
+      world.block_on(chain.materialize());
+      EXPECT_THROW(chain.materialize(), Error);
+      EXPECT_THROW(chain.add(idxs, 1), Error);
+    }
+    world.barrier();
+  });
+}
+
+TEST(Fused, OutOfRangeIndexThrowsAtRecordTime) {
+  run_world(2, [](World& world) {
+    auto arr = AtomicArray<u64>::create(world, 16, Distribution::kBlock);
+    if (world.my_pe() == 0) {
+      const global_index bad[1] = {16};
+      auto chain = arr.lazy();
+      EXPECT_THROW(chain.add(std::span<const global_index>(bad, 1), 1), Error);
+    }
+    world.barrier();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Safety regimes
+// ---------------------------------------------------------------------------
+
+TEST(Fused, LocalLockAndUnsafeModesMatchAtomic) {
+  run_world(4, [](World& world) {
+    auto ll = LocalLockArray<u64>::create(world, 64, Distribution::kBlock);
+    auto un = UnsafeArray<u64>::create(world, 64, Distribution::kCyclic);
+    ll.fill(1);
+    un.fill(1);
+    if (world.my_pe() == 0) {
+      const auto idxs = all_indices(64);
+      auto lv = world.block_on(ll.lazy().add(idxs, 2).mul(idxs, 3).gather(idxs));
+      auto uv = world.block_on(un.lazy().add(idxs, 2).mul(idxs, 3).gather(idxs));
+      for (std::size_t j = 0; j < idxs.size(); ++j) {
+        EXPECT_EQ(lv[j], 9u);
+        EXPECT_EQ(uv[j], 9u);
+      }
+    }
+    world.barrier();
+  });
+}
+
+TEST(Fused, ReadOnlyGathersButRejectsMutatingStages) {
+  run_world(4, [](World& world) {
+    auto arr = UnsafeArray<u64>::create(world, 64, Distribution::kBlock);
+    arr.fill(0);
+    if (world.my_pe() == 0) {
+      std::vector<u64> base(64);
+      std::iota(base.begin(), base.end(), 0);
+      world.block_on(arr.put(0, base));
+    }
+    world.barrier();
+    auto ro = std::move(arr).into_read_only();
+    const auto idxs = all_indices(64);
+    auto vals = world.block_on(ro.lazy().gather(idxs));
+    for (std::size_t j = 0; j < idxs.size(); ++j) EXPECT_EQ(vals[j], j);
+    auto chain = ro.lazy();
+    EXPECT_THROW(chain.add(idxs, 1), Error);
+    world.barrier();
+  });
+}
+
+TEST(Fused, ConcurrentChainsFromAllPEsAreElementAtomic) {
+  run_world(4, [](World& world) {
+    auto arr = AtomicArray<u64>::create(world, 64, Distribution::kCyclic);
+    arr.fill(0);
+    const auto idxs = all_indices(arr.len());
+    // Every PE fuses (x+1)+2: the per-element fold is atomic, so after all
+    // 4 chains every element saw exactly 4*(1+2) added in some order.
+    constexpr int kRounds = 8;
+    for (int r = 0; r < kRounds; ++r) {
+      world.block_on(arr.lazy().add(idxs, 1).add(idxs, 2).materialize());
+    }
+    world.barrier();
+    EXPECT_EQ(world.block_on(arr.min()), 4u * kRounds * 3u);
+    EXPECT_EQ(world.block_on(arr.max()), 4u * kRounds * 3u);
+    world.barrier();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Budget: fused loops inherit the eager path's steady-state zero-alloc bound
+// ---------------------------------------------------------------------------
+
+TEST(Fused, PlanAllocsFlatInFusedSteadyState) {
+  run_world(4, [](World& world) {
+    auto arr = AtomicArray<u64>::create(world, 4096, Distribution::kBlock);
+    arr.fill(0);
+    std::vector<global_index> idxs(1024);
+    std::mt19937_64 rng(13 + world.my_pe());
+    for (auto& i : idxs) i = rng() % arr.len();
+
+    for (int w = 0; w < 3; ++w) {
+      world.block_on(
+          arr.lazy().add(idxs, 1).mul(idxs, 1).add(idxs, 1).materialize());
+    }
+    world.barrier();
+
+    const u64 before = world.metrics().counter("array.plan_allocs").get();
+    for (int iter = 0; iter < 50; ++iter) {
+      world.block_on(
+          arr.lazy().add(idxs, 1).mul(idxs, 1).add(idxs, 1).materialize());
+    }
+    const u64 after = world.metrics().counter("array.plan_allocs").get();
+    EXPECT_EQ(after, before);
+    world.barrier();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Iterator combinators on the collective reduce path
+// ---------------------------------------------------------------------------
+
+TEST(IterReduce, DistIterReduceMatchesArrayReduce) {
+  run_world(4, [](World& world) {
+    auto arr = AtomicArray<u64>::create(world, 100, Distribution::kBlock);
+    arr.fill(0);
+    if (world.my_pe() == 0) {
+      std::vector<u64> base(arr.len());
+      std::iota(base.begin(), base.end(), 1);
+      world.block_on(arr.put(0, base));
+    }
+    world.barrier();
+    // Collective: all PEs call, all PEs receive the global result.
+    const u64 total = world.block_on(arr.dist_iter().sum());
+    EXPECT_EQ(total, 100u * 101u / 2u);
+    const u64 hi = world.block_on(arr.dist_iter().max());
+    EXPECT_EQ(hi, 100u);
+    const u64 lo = world.block_on(arr.dist_iter().min());
+    EXPECT_EQ(lo, 1u);
+    world.barrier();
+  });
+}
+
+TEST(IterReduce, NonPowerOfTwoTeamAndAdapters) {
+  run_world(3, [](World& world) {
+    auto arr = AtomicArray<u64>::create(world, 90, Distribution::kCyclic);
+    arr.fill(0);
+    if (world.my_pe() == 0) {
+      std::vector<u64> base(arr.len());
+      std::iota(base.begin(), base.end(), 0);
+      world.block_on(arr.put(0, base));
+    }
+    world.barrier();
+    // map and filter compose in front of the collective combine.
+    const u64 doubled = world.block_on(
+        arr.dist_iter().map([](u64 v) { return v * 2; }).sum());
+    EXPECT_EQ(doubled, 2u * (89u * 90u / 2u));
+    const u64 evens = world.block_on(
+        arr.dist_iter().filter([](u64 v) { return v % 2 == 0; }).sum());
+    u64 expect = 0;
+    for (u64 v = 0; v < 90; v += 2) expect += v;
+    EXPECT_EQ(evens, expect);
+    world.barrier();
+  });
+}
+
+TEST(IterReduce, SelectionComposesWithCollectiveReduce) {
+  run_world(4, [](World& world) {
+    auto arr = AtomicArray<u64>::create(world, 64, Distribution::kBlock);
+    arr.fill(3);
+    // Every PE owns 16 elements; step_by(2) keeps 8 per PE.
+    const u64 total = world.block_on(arr.dist_iter().step_by(2).sum());
+    EXPECT_EQ(total, 4u * 8u * 3u);
+    world.barrier();
+  });
+}
+
+TEST(IterReduce, LocalIterReduceIsLocalOnly) {
+  run_world(4, [](World& world) {
+    auto arr = AtomicArray<u64>::create(world, 64, Distribution::kBlock);
+    arr.fill(5);
+    const u64 local = world.block_on(arr.local_iter().sum());
+    EXPECT_EQ(local, 16u * 5u);  // this PE's 16 elements only
+    world.barrier();
+  });
+}
+
+}  // namespace

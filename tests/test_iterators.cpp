@@ -107,6 +107,35 @@ TEST(Iter, SelectorAfterMapThrows) {
   });
 }
 
+// Regression: the diagnosis fires at composition time and names the FIRST
+// adapter that consumed the index space, even through later adapters.
+TEST(Iter, SelectorOrderingDiagnosisNamesOffendingAdapter) {
+  run_world(1, [](World& world) {
+    auto arr =
+        AtomicArray<std::uint64_t>::create(world, 8, Distribution::kBlock);
+    try {
+      arr.local_iter()
+          .filter([](std::uint64_t v) { return v % 2 == 0; })
+          .map([](std::uint64_t v) { return v + 1; })
+          .skip(1);
+      FAIL() << "skip after filter/map should throw at composition time";
+    } catch (const Error& e) {
+      const std::string msg = e.what();
+      EXPECT_NE(msg.find("skip"), std::string::npos) << msg;
+      // filter came first — the message must blame it, not map.
+      EXPECT_NE(msg.find("filter"), std::string::npos) << msg;
+      EXPECT_EQ(msg.find("map("), std::string::npos) << msg;
+    }
+    try {
+      arr.local_iter().enumerate().step_by(2);
+      FAIL() << "step_by after enumerate should throw at composition time";
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find("enumerate"), std::string::npos)
+          << e.what();
+    }
+  });
+}
+
 TEST(Iter, FoldLocal) {
   run_world(2, [](World& world) {
     auto arr =
