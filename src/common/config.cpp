@@ -62,6 +62,12 @@ MetricsMode parse_metrics_mode(const std::string& s) {
       "LAMELLAR_METRICS must be off|quiet|summary|json, got: " + s);
 }
 
+RouteMode parse_route_mode(const std::string& s) {
+  if (s == "direct") return RouteMode::kDirect;
+  if (s == "2hop") return RouteMode::k2Hop;
+  throw std::invalid_argument("LAMELLAR_ROUTE must be direct|2hop, got: " + s);
+}
+
 RuntimeConfig RuntimeConfig::from_env() {
   RuntimeConfig cfg;
   cfg.threads_per_pe = env_size("LAMELLAR_THREADS", cfg.threads_per_pe);
@@ -86,6 +92,12 @@ RuntimeConfig RuntimeConfig::from_env() {
   cfg.metrics_interval_ms =
       env_u64("LAMELLAR_METRICS_INTERVAL_MS", cfg.metrics_interval_ms);
   cfg.metrics_file = env_str("LAMELLAR_METRICS_FILE", cfg.metrics_file);
+  cfg.route = parse_route_mode(env_str("LAMELLAR_ROUTE", "direct"));
+  cfg.route_direct_cutoff_bytes =
+      env_size("LAMELLAR_ROUTE_CUTOFF", cfg.route_direct_cutoff_bytes);
+  cfg.internal_heap_bytes =
+      env_size("LAMELLAR_INTERNAL_HEAP", cfg.internal_heap_bytes);
+  cfg.park_timeout_us = env_u64("LAMELLAR_PARK_US", cfg.park_timeout_us);
   return cfg;
 }
 

@@ -21,6 +21,17 @@ enum class MetricsMode {
   kJson,     ///< collect + JSON dump on stderr at teardown
 };
 
+/// How small AM records are routed between PEs (env: LAMELLAR_ROUTE=
+/// direct|2hop).  kDirect aggregates per final destination — O(P) live
+/// lanes per PE.  k2Hop routes small records through a same-row relay on
+/// the RouteGrid (fabric/topology.hpp) that re-aggregates per destination
+/// column — O(sqrt P) live lanes per PE, at the price of one extra copy per
+/// relayed record.
+enum class RouteMode {
+  kDirect,
+  k2Hop,
+};
+
 struct RuntimeConfig {
   /// Worker threads per PE (paper: best results with 4 threads per PE, one
   /// PE per NUMA node).  Default is small because tests run many PEs within
@@ -88,6 +99,26 @@ struct RuntimeConfig {
   /// (env: LAMELLAR_METRICS_FILE).
   std::string metrics_file;
 
+  /// Small-record routing policy (env: LAMELLAR_ROUTE=direct|2hop; default
+  /// direct).  See RouteMode.
+  RouteMode route = RouteMode::kDirect;
+
+  /// 2-hop only: serialized records at or above this many bytes skip the
+  /// relay and go direct (the relay copy would dominate).  0 means auto:
+  /// agg_threshold_bytes / 8 (env: LAMELLAR_ROUTE_CUTOFF).
+  std::size_t route_direct_cutoff_bytes = 0;
+
+  /// Runtime-reserved region at the base of each PE's arena (env:
+  /// LAMELLAR_INTERNAL_HEAP).  Shrink together with the heaps so
+  /// thousand-PE worlds fit in CI memory.
+  std::size_t internal_heap_bytes = std::size_t{1} * 1024 * 1024;
+
+  /// Worker park timeout in microseconds (env: LAMELLAR_PARK_US; default
+  /// 200).  Idle workers wake this often to run the progress hook; raise it
+  /// for massively oversubscribed scale runs (thousands of PEs on a few
+  /// cores) so parked workers do not thrash the scheduler.
+  std::uint64_t park_timeout_us = 200;
+
   /// Load overrides from LAMELLAR_* environment variables.
   static RuntimeConfig from_env();
 };
@@ -97,5 +128,6 @@ std::size_t env_size(const char* name, std::size_t fallback);
 std::uint64_t env_u64(const char* name, std::uint64_t fallback);
 std::string env_str(const char* name, const std::string& fallback);
 MetricsMode parse_metrics_mode(const std::string& s);
+RouteMode parse_route_mode(const std::string& s);
 
 }  // namespace lamellar

@@ -1,5 +1,7 @@
 #include "core/am/am_engine.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 
 namespace lamellar {
@@ -31,6 +33,13 @@ AmEngine::AmEngine(Lamellae& lamellae, ThreadPool& pool,
       outgoing_(lamellae, cfg.agg_threshold_bytes, tracer),
       tracer_(tracer),
       trace_sample_(cfg.trace_sample) {
+  route_2hop_ = cfg.route == RouteMode::k2Hop;
+  grid_ = RouteGrid::make(
+      lamellae.num_pes(),
+      PeMapping{std::max<std::size_t>(1, lamellae.pes_per_node())});
+  route_cutoff_ = cfg.route_direct_cutoff_bytes != 0
+                      ? cfg.route_direct_cutoff_bytes
+                      : std::max<std::size_t>(1, cfg.agg_threshold_bytes / 8);
   obs::MetricsRegistry& reg = lamellae.metrics();
   am_sent_remote_ = &reg.counter("am.sent_remote");
   am_sent_local_ = &reg.counter("am.sent_local");
@@ -46,6 +55,9 @@ AmEngine::AmEngine(Lamellae& lamellae, ThreadPool& pool,
   stage_reply_complete_ns_ = &reg.histogram("am.stage_reply_complete_ns");
   spans_opened_ = &reg.counter("trace.spans_opened");
   spans_closed_ = &reg.counter("trace.spans_closed");
+  sent_routed_ = &reg.counter("am.sent_routed");
+  relayed_records_ = &reg.counter("am.relayed_records");
+  relay_bytes_ = &reg.counter("am.relay_bytes");
 }
 
 void AmEngine::register_completer(request_id rid, Completer completer) {
@@ -81,6 +93,101 @@ bool AmEngine::poll_inbox() {
   return any;
 }
 
+void AmEngine::dispatch_record(const AmEnvelope& env,
+                               std::span<const std::byte> payload, pe_id src,
+                               AmDispatchBatch& batch) {
+  if (env.type == kReplyType) {
+    replies_received_->inc();
+    if (env.traced()) {
+      // The reply's wire ts is the executing PE's reply-inject time; the
+      // difference to our arrival clock is the reply->complete stage.
+      // Clamped at zero: per-PE virtual clocks are not globally ordered.
+      const sim_nanos now = lamellae_.clock().now();
+      const auto sent = static_cast<sim_nanos>(env.trace_ts);
+      const sim_nanos dur = now >= sent ? now - sent : 0;
+      stage_reply_complete_ns_->record(static_cast<std::uint64_t>(dur));
+      spans_closed_->inc();
+      if (tracer_ != nullptr && tracer_->enabled()) {
+        tracer_->record({"am_complete", "am", my_pe(), now, 0, 'f',
+                         static_cast<std::uint64_t>(dur), env.trace_span});
+      }
+    }
+    Completer completer = take_completer(env.req_id);
+    // Deserialize the return value straight from the inbox buffer; the
+    // borrowed view only needs to outlive this synchronous call.  Span
+    // replies may stage a misaligned-fallback copy in the arena; the
+    // frame reclaims it once the completer has scattered the results.
+    ArenaFrame frame;
+    Deserializer de(payload);
+    completer(de);
+    return;
+  }
+  if (env.traced()) {
+    // The request's wire ts was patched with the origin's flush time when
+    // its aggregation buffer departed; arrival minus that is the flight
+    // stage (clamped: per-PE virtual clocks are not globally ordered).
+    // For 2-hop traffic the stage spans origin flush -> final arrival,
+    // including relay residency — the true end-to-end flight.
+    const sim_nanos now = lamellae_.clock().now();
+    const auto flushed = static_cast<sim_nanos>(env.trace_ts);
+    const sim_nanos dur = now >= flushed ? now - flushed : 0;
+    stage_flight_ns_->record(static_cast<std::uint64_t>(dur));
+    if (tracer_ != nullptr && tracer_->enabled()) {
+      tracer_->record({"am_recv", "am", my_pe(), now, 0, 't',
+                       static_cast<std::uint64_t>(dur), env.trace_span});
+    }
+  }
+  AmRegistry::instance().handler(env.type)(*this, src, env, payload, batch);
+}
+
+void AmEngine::handle_forward(std::span<const std::byte> payload,
+                              AmDispatchBatch& batch) {
+  if (payload.size() < kForwardPrefixBytes) {
+    throw DeserializeError("forward record: truncated routing prefix");
+  }
+  std::uint32_t fdst32 = 0;
+  std::uint32_t origin32 = 0;
+  std::memcpy(&fdst32, payload.data(), sizeof(fdst32));
+  std::memcpy(&origin32, payload.data() + sizeof(fdst32), sizeof(origin32));
+  const auto fdst = static_cast<pe_id>(fdst32);
+  const auto origin = static_cast<pe_id>(origin32);
+  if (fdst >= num_pes() || origin >= num_pes()) {
+    throw DeserializeError("forward record: PE id out of range");
+  }
+  std::span<const std::byte> inner = payload.subspan(kForwardPrefixBytes);
+  if (fdst == my_pe()) {
+    AmEnvelope ienv;
+    std::span<const std::byte> ipayload;
+    if (!read_record(inner, ienv, ipayload)) {
+      throw DeserializeError("forward record: empty inner record");
+    }
+    // Dispatch as if the record had arrived directly from the origin: the
+    // deserializer and any reply must see the origin, not the relay the
+    // fabric message physically came from.
+    ScopedAmSrc src_scope(origin);
+    dispatch_record(ienv, ipayload, origin, batch);
+    return;
+  }
+  // Relay hop: copy the wrapper verbatim into our own lane toward the final
+  // destination (we sit in its column, so relay(my_pe, fdst) == fdst) — the
+  // re-aggregation that turns O(P) origin lanes into O(sqrt P).  Relay
+  // traffic is deliberately excluded from bytes_copied/bytes_serialized
+  // (those count origin-side serialization once per record); the copy cost
+  // is still charged to the modeled clock.
+  relayed_records_->inc();
+  relay_bytes_->inc(payload.size());
+  lamellae_.charge(lamellae_.params().serialize_ns(payload.size()));
+  const auto progress = [this] { poll_inbox(); };
+  auto w = outgoing_.begin_record(fdst);
+  ByteBuffer& rec = w.buffer();
+  rec.write_pod<std::uint32_t>(kForwardType);
+  rec.write_pod<std::uint32_t>(0);
+  rec.write_pod<std::uint64_t>(0);
+  rec.write_pod<std::uint64_t>(payload.size());
+  rec.write(payload.data(), payload.size());
+  outgoing_.commit_record(w, progress);
+}
+
 void AmEngine::dispatch_buffer(ByteBuffer buffer, pe_id src) {
   ScopedWorld scope(world_);
   ScopedAmSrc src_scope(src);
@@ -93,46 +200,11 @@ void AmEngine::dispatch_buffer(ByteBuffer buffer, pe_id src) {
   AmDispatchBatch batch;
   while (read_record(cursor, env, payload)) {
     ++records;
-    if (env.type == kReplyType) {
-      replies_received_->inc();
-      if (env.traced()) {
-        // The reply's wire ts is the executing PE's reply-inject time; the
-        // difference to our arrival clock is the reply->complete stage.
-        // Clamped at zero: per-PE virtual clocks are not globally ordered.
-        const sim_nanos now = lamellae_.clock().now();
-        const auto sent = static_cast<sim_nanos>(env.trace_ts);
-        const sim_nanos dur = now >= sent ? now - sent : 0;
-        stage_reply_complete_ns_->record(static_cast<std::uint64_t>(dur));
-        spans_closed_->inc();
-        if (tracer_ != nullptr && tracer_->enabled()) {
-          tracer_->record({"am_complete", "am", my_pe(), now, 0, 'f',
-                           static_cast<std::uint64_t>(dur), env.trace_span});
-        }
-      }
-      Completer completer = take_completer(env.req_id);
-      // Deserialize the return value straight from the inbox buffer; the
-      // borrowed view only needs to outlive this synchronous call.  Span
-      // replies may stage a misaligned-fallback copy in the arena; the
-      // frame reclaims it once the completer has scattered the results.
-      ArenaFrame frame;
-      Deserializer de(payload);
-      completer(de);
+    if (env.type == kForwardType) {
+      handle_forward(payload, batch);
       continue;
     }
-    if (env.traced()) {
-      // The request's wire ts was patched with the origin's flush time when
-      // its aggregation buffer departed; arrival minus that is the flight
-      // stage (clamped: per-PE virtual clocks are not globally ordered).
-      const sim_nanos now = lamellae_.clock().now();
-      const auto flushed = static_cast<sim_nanos>(env.trace_ts);
-      const sim_nanos dur = now >= flushed ? now - flushed : 0;
-      stage_flight_ns_->record(static_cast<std::uint64_t>(dur));
-      if (tracer_ != nullptr && tracer_->enabled()) {
-        tracer_->record({"am_recv", "am", my_pe(), now, 0, 't',
-                         static_cast<std::uint64_t>(dur), env.trace_span});
-      }
-    }
-    AmRegistry::instance().handler(env.type)(*this, src, env, payload, batch);
+    dispatch_record(env, payload, src, batch);
   }
   if (batch.hold) {
     // Some deferred task borrows payload views: park the buffer in the
@@ -169,11 +241,14 @@ void AmEngine::wait_all() {
   flush();
   while (outstanding() > 0) {
     if (!pool_.try_run_one()) {
-      poll_inbox();
+      const bool polled = poll_inbox();
       // Replies produced by remote PEs may still be sitting in *their*
       // aggregation buffers; their idle workers flush them.  Meanwhile our
       // own residuals must also leave.
       if (outgoing_.has_pending()) flush();
+      // At paper-scale PE counts thousands of PE threads share few cores;
+      // spinning here starves the PEs that actually hold our replies.
+      if (!polled) std::this_thread::yield();
     }
   }
 }

@@ -17,8 +17,10 @@
 
 #include <array>
 #include <atomic>
+#include <cstring>
 #include <memory>
 #include <mutex>
+#include <thread>
 #include <type_traits>
 #include <unordered_map>
 #include <vector>
@@ -31,6 +33,7 @@
 #include "core/am/wire.hpp"
 #include "core/scheduler/future.hpp"
 #include "core/scheduler/thread_pool.hpp"
+#include "fabric/topology.hpp"
 #include "lamellae/cmd_queue.hpp"
 #include "lamellae/lamellae.hpp"
 #include "obs/metrics.hpp"
@@ -69,6 +72,16 @@ concept ActiveMessageType =
 /// arena-staged results are reclaimed once the reply is on the wire.
 template <typename T>
 concept BorrowingAm = requires { T::kBorrowsPayload; };
+
+/// Marker: AM types declaring `static constexpr bool kRuntimeInternal =
+/// true` execute inline during inbox dispatch instead of as pool tasks.
+/// The Darc lifetime protocol requires per-channel FIFO processing of its
+/// control messages (drop/revive/ack/check); inline execution preserves the
+/// fabric's per-inbox ordering, whereas independent tasks could reorder.
+/// For the same reason such AMs (and their replies) are never 2-hop
+/// relayed: relaying would interleave two paths to the same destination.
+template <typename T>
+concept InlineAm = requires { T::kRuntimeInternal; };
 
 class AmEngine {
  public:
@@ -180,7 +193,8 @@ class AmEngine {
           cb(std::move(r));
           completed_.fetch_add(1, std::memory_order_relaxed);
         });
-    write_record_inplace(dst, AmTypeId<Am>::id, kWantsReply, rid, am, span);
+    write_record_inplace(dst, AmTypeId<Am>::id, kWantsReply, rid, am, span,
+                         /*allow_relay=*/!InlineAm<Am>);
   }
 
   /// Fire-and-forget: launch `am` on `dst` with no reply record, no
@@ -198,18 +212,21 @@ class AmEngine {
     am_sent_remote_->inc();
     const request_id rid =
         next_request_id_.fetch_add(1, std::memory_order_relaxed);
-    write_record_inplace(dst, AmTypeId<Am>::id, 0, rid, am);
+    write_record_inplace(dst, AmTypeId<Am>::id, 0, rid, am, 0,
+                         /*allow_relay=*/!InlineAm<Am>);
   }
 
   /// Send a reply for request `rid` back to `dst` (used by executors).
   /// A non-zero `trace_span` (propagated from a sampled request's envelope)
   /// marks the reply traced; its wire ts is the reply-inject time, from
-  /// which the origin computes the reply->complete stage.
+  /// which the origin computes the reply->complete stage.  Replies to
+  /// runtime-internal (FIFO-ordered) AMs pass `allow_relay = false`.
   template <typename R>
   void send_reply(pe_id dst, request_id rid, const R& value,
-                  std::uint64_t trace_span = 0) {
+                  std::uint64_t trace_span = 0, bool allow_relay = true) {
     replies_sent_->inc();
-    write_record_inplace(dst, kReplyType, 0, rid, value, trace_span);
+    write_record_inplace(dst, kReplyType, 0, rid, value, trace_span,
+                         allow_relay);
   }
 
   // ---- progress / waiting ----
@@ -234,11 +251,14 @@ class AmEngine {
     flush();
     while (!f.ready()) {
       if (!pool_.try_run_one()) {
-        poll_inbox();
+        const bool polled = poll_inbox();
         // Tasks executed while helping (nested AMs, replies) stage records
         // below the flush threshold; the pool looks busy while this task is
         // blocked, so the idle-flush path cannot fire — flush here.
         if (outgoing_.has_pending()) flush();
+        // Oversubscribed hosts (thousands of PE threads on few cores) need
+        // idle waiters off the core so the PEs with work can run.
+        if (!polled) std::this_thread::yield();
       }
     }
     return f.get();
@@ -295,41 +315,119 @@ class AmEngine {
   /// requests the ts field is registered with the lane so it is patched
   /// with the buffer's departure time; replies keep their inject time (the
   /// value written here), per the wire.hpp contract.
+  ///
+  /// Under 2-hop routing (DESIGN.md §12) a small record whose RouteGrid
+  /// relay differs from `dst` is serialized inside a kForwardType wrapper
+  /// addressed to the relay instead; `allow_relay = false` (FIFO-ordered
+  /// runtime-internal traffic) forces the direct path.  Records at or above
+  /// `route_cutoff_` escape back to the direct lane after serialization —
+  /// relaying them would double large payloads on the wire for no
+  /// aggregation benefit.
   template <typename T>
   void write_record_inplace(pe_id dst, am_type_id type, std::uint32_t flags,
                             request_id rid, const T& value,
-                            std::uint64_t trace_span = 0) {
+                            std::uint64_t trace_span = 0,
+                            bool allow_relay = true) {
     const auto progress = [this] { poll_inbox(); };
     if (trace_span != 0) flags |= kTraced;
-    auto w = outgoing_.begin_record(dst);
+    const pe_id hop =
+        (route_2hop_ && allow_relay) ? grid_.relay(my_pe(), dst) : dst;
+    if (hop == dst) {
+      auto w = outgoing_.begin_record(dst);
+      ByteBuffer& rec = w.buffer();
+      const std::size_t start = w.record_start();
+      rec.write_pod<std::uint32_t>(type);
+      rec.write_pod<std::uint32_t>(flags);
+      rec.write_pod<std::uint64_t>(rid);
+      rec.write_pod<std::uint64_t>(0);  // payload length, patched below
+      std::size_t ext_bytes = 0;
+      if (trace_span != 0) {
+        rec.write_pod<std::uint64_t>(trace_span);
+        rec.write_pod<std::uint64_t>(
+            static_cast<std::uint64_t>(lamellae_.clock().now()));
+        ext_bytes = kTraceExtBytes;
+        if (type != kReplyType) {
+          w.note_trace(trace_span,
+                       start + kRecordHeaderBytes + sizeof(std::uint64_t));
+        }
+      }
+      {
+        Serializer ser(rec);
+        ScopedWorld scope(world_);
+        ser.put(value);
+      }
+      const std::size_t record_bytes = rec.size() - start;
+      rec.patch_pod<std::uint64_t>(
+          start + kRecordHeaderBytes - sizeof(std::uint64_t),
+          record_bytes - kRecordHeaderBytes - ext_bytes);
+      bytes_copied_->inc(record_bytes);
+      charge_serialize(record_bytes);
+      outgoing_.commit_record(w, progress);
+      return;
+    }
+    // Routed: serialize a complete inner record inside a forward wrapper on
+    // the relay's lane.  The cutoff decision needs the serialized size, so
+    // the record is built optimistically in place and pulled back out on the
+    // rare large-record escape.
+    auto w = outgoing_.begin_record(hop);
     ByteBuffer& rec = w.buffer();
     const std::size_t start = w.record_start();
+    rec.write_pod<std::uint32_t>(kForwardType);
+    rec.write_pod<std::uint32_t>(0);
+    rec.write_pod<std::uint64_t>(0);
+    rec.write_pod<std::uint64_t>(0);  // wrapper payload len, patched below
+    rec.write_pod<std::uint32_t>(static_cast<std::uint32_t>(dst));
+    rec.write_pod<std::uint32_t>(static_cast<std::uint32_t>(my_pe()));
+    const std::size_t inner_start = rec.size();
     rec.write_pod<std::uint32_t>(type);
     rec.write_pod<std::uint32_t>(flags);
     rec.write_pod<std::uint64_t>(rid);
-    rec.write_pod<std::uint64_t>(0);  // payload length, patched below
+    rec.write_pod<std::uint64_t>(0);  // inner payload len, patched below
     std::size_t ext_bytes = 0;
     if (trace_span != 0) {
       rec.write_pod<std::uint64_t>(trace_span);
       rec.write_pod<std::uint64_t>(
           static_cast<std::uint64_t>(lamellae_.clock().now()));
       ext_bytes = kTraceExtBytes;
-      if (type != kReplyType) {
-        w.note_trace(trace_span,
-                     start + kRecordHeaderBytes + sizeof(std::uint64_t));
-      }
     }
     {
       Serializer ser(rec);
       ScopedWorld scope(world_);
       ser.put(value);
     }
-    const std::size_t record_bytes = rec.size() - start;
+    const std::size_t inner_bytes = rec.size() - inner_start;
+    rec.patch_pod<std::uint64_t>(
+        inner_start + kRecordHeaderBytes - sizeof(std::uint64_t),
+        inner_bytes - kRecordHeaderBytes - ext_bytes);
+    if (inner_bytes >= route_cutoff_) {
+      // Escape hatch: move the finished inner record onto the direct lane.
+      std::vector<std::byte> tmp(inner_bytes);
+      std::memcpy(tmp.data(), rec.as_span().data() + inner_start, inner_bytes);
+      rec.truncate(start);
+      outgoing_.commit_record(w, progress);  // zero-byte; may release storage
+      auto w2 = outgoing_.begin_record(dst);
+      const std::size_t start2 = w2.record_start();
+      w2.buffer().write(tmp.data(), tmp.size());
+      if (trace_span != 0 && type != kReplyType) {
+        w2.note_trace(trace_span,
+                      start2 + kRecordHeaderBytes + sizeof(std::uint64_t));
+      }
+      bytes_copied_->inc(tmp.size());
+      charge_serialize(tmp.size());
+      outgoing_.commit_record(w2, progress);
+      return;
+    }
     rec.patch_pod<std::uint64_t>(
         start + kRecordHeaderBytes - sizeof(std::uint64_t),
-        record_bytes - kRecordHeaderBytes - ext_bytes);
+        rec.size() - start - kRecordHeaderBytes);
+    if (trace_span != 0 && type != kReplyType) {
+      w.note_trace(trace_span,
+                   inner_start + kRecordHeaderBytes + sizeof(std::uint64_t));
+    }
+    const std::size_t record_bytes = rec.size() - start;
     bytes_copied_->inc(record_bytes);
     charge_serialize(record_bytes);
+    sent_routed_->inc();
     outgoing_.commit_record(w, progress);
   }
 
@@ -343,6 +441,19 @@ class AmEngine {
   Completer take_completer(request_id rid);
   void charge_serialize(std::size_t bytes);
   void dispatch_buffer(ByteBuffer buffer, pe_id src);
+
+  /// Dispatch one non-forward record (reply completion or AM execution).
+  /// `src` is the PE that *originated* the record — for 2-hop traffic this
+  /// is the origin carried in the wrapper, not the relay the fabric message
+  /// physically came from.
+  void dispatch_record(const AmEnvelope& env, std::span<const std::byte> payload,
+                       pe_id src, AmDispatchBatch& batch);
+
+  /// Handle a kForwardType wrapper: unwrap and dispatch when this PE is the
+  /// final destination, otherwise re-aggregate the wrapper verbatim into our
+  /// own lane toward the destination (the relay hop).
+  void handle_forward(std::span<const std::byte> payload,
+                      AmDispatchBatch& batch);
 
   Lamellae& lamellae_;
   ThreadPool& pool_;
@@ -362,6 +473,15 @@ class AmEngine {
   obs::Counter* idle_flushes_;
   obs::Histogram* reply_latency_ns_;
 
+  // 2-hop routing (ISSUE 8): the grid, the mode/cutoff resolved from config,
+  // and the origin/relay-side counters.
+  RouteGrid grid_;
+  bool route_2hop_ = false;
+  std::size_t route_cutoff_ = 0;
+  obs::Counter* sent_routed_;       // am.sent_routed (origin side)
+  obs::Counter* relayed_records_;   // am.relayed_records (relay side)
+  obs::Counter* relay_bytes_;       // am.relay_bytes (relay side)
+
   // Causal-trace sampling (tentpole, ISSUE 6): per-stage latency histograms
   // and the open/close span accounting checked at quiesce.
   std::uint64_t trace_sample_ = 0;
@@ -379,14 +499,6 @@ class AmEngine {
   std::atomic<std::uint64_t> launched_{0};
   std::atomic<std::uint64_t> completed_{0};
 };
-
-/// Marker: AM types declaring `static constexpr bool kRuntimeInternal =
-/// true` execute inline during inbox dispatch instead of as pool tasks.
-/// The Darc lifetime protocol requires per-channel FIFO processing of its
-/// control messages (drop/revive/ack/check); inline execution preserves the
-/// fabric's per-inbox ordering, whereas independent tasks could reorder.
-template <typename T>
-concept InlineAm = requires { T::kRuntimeInternal; };
 
 /// Type-erased execution shim instantiated per AM type by the registration
 /// macro: deserialize straight from the borrowed inbox view (no
@@ -419,7 +531,9 @@ struct AmExecutor {
         engine.note_traced_exec(span, t0, engine.lamellae().clock().now());
       }
       engine.note_am_executed();
-      if ((flags & kWantsReply) != 0) engine.send_reply(src, rid, result, span);
+      if ((flags & kWantsReply) != 0) {
+        engine.send_reply(src, rid, result, span, /*allow_relay=*/false);
+      }
       return;
     } else if constexpr (BorrowingAm<Am>) {
       // The deserialized AM holds spans into the inbox buffer; keep the

@@ -30,6 +30,19 @@ namespace lamellar {
 
 inline constexpr am_type_id kReplyType = 0xFFFFFFFFu;
 
+/// Relay-forwarded wrapper record (2-hop routing, DESIGN.md §12).  The
+/// wrapper's own header carries type = kForwardType, flags = 0, req_id = 0;
+/// its payload is
+///   [u32 final_dst][u32 origin][one complete inner record]
+/// where the inner record uses the standard framing above (header, optional
+/// trace extension, payload).  A relay whose PE id != final_dst copies the
+/// wrapper verbatim into its own aggregation lane toward final_dst
+/// (re-aggregation); the final destination unwraps and dispatches the inner
+/// record as if it had arrived directly from `origin` — replies must route
+/// to the origin, not to the relay the fabric message came from.
+inline constexpr am_type_id kForwardType = 0xFFFFFFFEu;
+inline constexpr std::size_t kForwardPrefixBytes = sizeof(std::uint32_t) * 2;
+
 enum AmFlags : std::uint32_t {
   kWantsReply = 1u << 0,
   kTraced = 1u << 1,

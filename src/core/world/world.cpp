@@ -34,8 +34,9 @@ std::size_t Team::my_rank() const {
 
 void Team::barrier() {
   // Flush so AMs staged before the barrier are in flight, then rendezvous.
+  // The team rank is the participant's stable identity in the tree barrier.
   world_->engine().flush();
-  shared_->barrier.arrive_and_wait(&world_->lamellae().clock(),
+  shared_->barrier.arrive_and_wait(my_rank(), &world_->lamellae().clock(),
                                    world_->lamellae().params().barrier_ns);
 }
 
@@ -94,7 +95,8 @@ World::World(WorldGroup& group, pe_id pe)
         }
       },
       SchedulerObs{&lamellae_->metrics(), &group.tracer(), &lamellae_->clock(),
-                   pe});
+                   pe},
+      std::chrono::microseconds(group.config().park_timeout_us));
   engine_ = std::make_unique<AmEngine>(*lamellae_, *pool_, group.config(),
                                        &group.tracer());
   engine_slot->store(engine_.get(), std::memory_order_release);
@@ -153,6 +155,7 @@ void World::finalize() {
 namespace {
 ShmemLamellaeGroup::Layout layout_from(const RuntimeConfig& cfg) {
   ShmemLamellaeGroup::Layout layout;
+  layout.internal_bytes = cfg.internal_heap_bytes;
   layout.symmetric_bytes = cfg.symmetric_heap_bytes;
   layout.onesided_bytes = cfg.onesided_heap_bytes;
   return layout;

@@ -180,7 +180,7 @@ bool ShmemFabric::inbox_empty(pe_id pe) const {
 
 void ShmemFabric::barrier(pe_id pe) {
   fab_metrics_[pe].barriers->inc();
-  world_barrier_.arrive_and_wait(virtual_time_ ? &clocks_[pe] : nullptr,
+  world_barrier_.arrive_and_wait(pe, virtual_time_ ? &clocks_[pe] : nullptr,
                                  params_.barrier_ns);
 }
 

@@ -2,6 +2,37 @@
 
 namespace lamellar {
 
-ClusterSpec paper_cluster() { return ClusterSpec{}; }
+ClusterSpec paper_cluster() {
+  // The defaults *are* the paper's platform (4 racks x 12 nodes, 64-core
+  // EPYC nodes, HDR-100); validate so any future drift in the defaults
+  // fails here rather than deep inside the performance model.
+  ClusterSpec spec;
+  spec.validate();
+  return spec;
+}
+
+RouteGrid RouteGrid::make(std::size_t num_pes, const PeMapping& mapping) {
+  RouteGrid g;
+  g.num_pes = num_pes;
+  if (num_pes <= 1) {
+    g.cols = 1;
+    return g;
+  }
+  // ceil(sqrt(num_pes)) without floating point.
+  std::size_t root = 1;
+  while (root * root < num_pes) ++root;
+  std::size_t cols = root;
+  const std::size_t node_w = mapping.pes_per_node;
+  // Topology-aware column width: one row per node keeps the first hop
+  // intra-node.  Only worthwhile when it still yields >= 2 rows and stays
+  // within a factor of two of square (lane count is rows + cols, minimized
+  // at the square grid).
+  if (node_w >= 2 && node_w <= 2 * root && 2 * node_w >= root &&
+      num_pes > node_w) {
+    cols = node_w;
+  }
+  g.cols = cols;
+  return g;
+}
 
 }  // namespace lamellar

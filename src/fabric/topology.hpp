@@ -3,18 +3,22 @@
 // The paper's evaluation platform (Sec. IV): 48-node cluster (32 usable),
 // dual-socket AMD EPYC 7543 (64 cores, 16 NUMA domains per node), 256 GB
 // DDR4-3200, Mellanox ConnectX-6 HDR-100 (100 Gb/s = 12.5 GB/s), full fat
-// tree of 4 racks x 12 nodes with 3 spine switches.  The simulator and the
-// fabric performance model both consume this description.
+// tree of 4 racks x 12 nodes with 3 spine switches.  The simulator, the
+// fabric performance model, and the 2-hop routing grid all consume this
+// description.
 #pragma once
 
 #include <cstddef>
 
+#include "common/error.hpp"
 #include "common/types.hpp"
 
 namespace lamellar {
 
 struct ClusterSpec {
-  std::size_t nodes = 32;
+  /// Physical nodes in the fabric (racks * nodes_per_rack; simulations pass
+  /// the *usable* node count — 32 in the paper — separately).
+  std::size_t nodes = 48;
   std::size_t cores_per_node = 64;
   std::size_t numa_per_node = 16;
   std::size_t nodes_per_rack = 12;
@@ -35,6 +39,33 @@ struct ClusterSpec {
   /// Intra-node (shared-memory) transfer rate, bytes/ns.
   double intranode_bytes_per_ns = 16.0;
 
+  /// Every construction asserts the defaults' consistency — editing the
+  /// platform constants above into an inconsistent state fails at the first
+  /// ClusterSpec{} instead of skewing model output.
+  ClusterSpec() { validate(); }
+
+  /// Structural consistency check: the rack decomposition must cover the
+  /// fabric exactly and every modeled rate/latency must be positive.  Throws
+  /// Error on violation.  paper_cluster() validates before returning, so a
+  /// drifting default or a hand-edited spec fails loudly instead of feeding
+  /// the performance model divide-by-zero rates.
+  void validate() const {
+    if (nodes == 0 || cores_per_node == 0 || numa_per_node == 0 ||
+        nodes_per_rack == 0 || racks == 0) {
+      throw Error("ClusterSpec: all shape fields must be nonzero");
+    }
+    if (racks * nodes_per_rack != nodes) {
+      throw Error("ClusterSpec: racks * nodes_per_rack != nodes");
+    }
+    if (nic_bytes_per_ns <= 0 || uplink_bytes_per_ns <= 0 ||
+        intranode_bytes_per_ns <= 0) {
+      throw Error("ClusterSpec: transfer rates must be positive");
+    }
+    if (intra_rack_latency_ns <= 0 || inter_rack_latency_ns <= 0) {
+      throw Error("ClusterSpec: latencies must be positive");
+    }
+  }
+
   [[nodiscard]] std::size_t total_cores() const {
     return nodes * cores_per_node;
   }
@@ -48,7 +79,7 @@ struct ClusterSpec {
   }
 };
 
-/// The cluster used in the paper's evaluation.
+/// The cluster used in the paper's evaluation (validated).
 ClusterSpec paper_cluster();
 
 /// How PEs are mapped onto the cluster for the fabric model: `pes_per_node`
@@ -56,12 +87,56 @@ ClusterSpec paper_cluster();
 struct PeMapping {
   std::size_t pes_per_node = 1;
 
+  PeMapping() = default;
+  explicit PeMapping(std::size_t pes_per_node_in)
+      : pes_per_node(pes_per_node_in) {
+    if (pes_per_node == 0) {
+      throw Error("PeMapping: pes_per_node must be nonzero");
+    }
+  }
+
   [[nodiscard]] std::size_t node_of_pe(pe_id pe) const {
     return pe / pes_per_node;
   }
   [[nodiscard]] bool same_node(pe_id a, pe_id b) const {
     return node_of_pe(a) == node_of_pe(b);
   }
+};
+
+/// 2-hop routing grid (the Conveyors/exstack2 idiom promoted into the
+/// runtime's aggregation layer): PEs are arranged row-major in a
+/// `rows x cols` grid.  A small record from `src` to `dst` first hops to
+/// the relay PE in src's *row* and dst's *column*; the relay re-aggregates
+/// records per destination column and forwards them.  Each PE then keeps
+/// live aggregation lanes only toward its own row and its own column —
+/// O(sqrt P) lanes instead of O(P).
+struct RouteGrid {
+  std::size_t num_pes = 0;
+  std::size_t cols = 1;
+
+  [[nodiscard]] std::size_t rows() const {
+    return cols == 0 ? 0 : (num_pes + cols - 1) / cols;
+  }
+  [[nodiscard]] std::size_t row_of(pe_id pe) const { return pe / cols; }
+  [[nodiscard]] std::size_t col_of(pe_id pe) const { return pe % cols; }
+
+  /// First hop for src -> dst: the PE in src's row and dst's column.
+  /// Returns `dst` itself whenever relaying cannot help — same row (the
+  /// relay would be dst), same column (the relay would be src), or a ragged
+  /// last row where the grid position does not exist.  Callers treat
+  /// `relay(src, dst) == dst` as "send direct".
+  [[nodiscard]] pe_id relay(pe_id src, pe_id dst) const {
+    const pe_id mid = static_cast<pe_id>(row_of(src) * cols + col_of(dst));
+    if (mid == src || mid == dst || mid >= num_pes) return dst;
+    return mid;
+  }
+
+  /// Build the grid for `num_pes`.  Topology-aware rule: when the node
+  /// width (`mapping.pes_per_node`) yields a usable near-square grid, a row
+  /// is one node and the first hop stays intra-node (cheap shared-memory
+  /// transfer in the fabric model); otherwise fall back to ceil(sqrt(P))
+  /// columns, which minimizes the row+column lane count.
+  static RouteGrid make(std::size_t num_pes, const PeMapping& mapping);
 };
 
 }  // namespace lamellar

@@ -8,6 +8,10 @@ namespace {
 // Extra reserve beyond the flush threshold so the record that tips a buffer
 // over the threshold normally fits without reallocating.
 constexpr std::size_t kRecordSlack = 4096;
+// First-touch reserve for a lane: small, so a lane that only ever carries a
+// few records never pins a threshold-sized allocation (the buffer grows
+// organically, and pooled buffers arrive with whatever capacity they earned).
+constexpr std::size_t kLaneInitialBytes = 4096;
 }  // namespace
 
 OutgoingQueues::OutgoingQueues(Lamellae& lamellae, std::size_t flush_threshold,
@@ -15,11 +19,8 @@ OutgoingQueues::OutgoingQueues(Lamellae& lamellae, std::size_t flush_threshold,
     : lamellae_(lamellae),
       tracer_(tracer),
       threshold_(flush_threshold),
+      lanes_(lamellae.num_pes()),
       pool_(std::max<std::size_t>(16, 2 * lamellae.num_pes())) {
-  lanes_.reserve(lamellae.num_pes());
-  for (std::size_t i = 0; i < lamellae.num_pes(); ++i) {
-    lanes_.push_back(std::make_unique<Lane>());
-  }
   obs::MetricsRegistry& reg = lamellae.metrics();
   metrics_ = CmdQueueCounters{
       &reg.counter("cmdq.buffers_sent"),
@@ -32,13 +33,29 @@ OutgoingQueues::OutgoingQueues(Lamellae& lamellae, std::size_t flush_threshold,
       &reg.counter("cmdq.buffers_allocated"),
       &reg.histogram("am.stage_inject_flush_ns"),
       &reg.gauge("cmdq.nonempty_lanes"),
+      &reg.gauge("cmdq.live_lanes"),
   };
+}
+
+OutgoingQueues::~OutgoingQueues() {
+  for (auto& slot : lanes_) delete slot.load(std::memory_order_acquire);
+}
+
+OutgoingQueues::Lane& OutgoingQueues::lane(pe_id dst) {
+  Lane* l = lanes_[dst].load(std::memory_order_acquire);
+  if (l != nullptr) return *l;
+  std::lock_guard lock(lanes_mu_);
+  l = lanes_[dst].load(std::memory_order_relaxed);
+  if (l == nullptr) {
+    l = new Lane();
+    lanes_[dst].store(l, std::memory_order_release);
+  }
+  return *l;
 }
 
 void OutgoingQueues::RecordWriter::note_trace(std::uint64_t span,
                                               std::size_t ts_offset) {
-  q_->lanes_[dst_]->traced.push_back(
-      {span, ts_offset, q_->lamellae_.clock().now()});
+  lane_->traced.push_back({span, ts_offset, q_->lamellae_.clock().now()});
 }
 
 void OutgoingQueues::seal_traced(ByteBuffer& buf,
@@ -65,26 +82,36 @@ void OutgoingQueues::seal_traced(ByteBuffer& buf,
 OutgoingQueues::RecordWriter::~RecordWriter() {
   // An uncommitted record (serialization threw) must not leak half-written
   // bytes into the lane: roll the buffer back to where the record began.
-  if (q_ != nullptr && !committed_) buf_->truncate(start_);
+  if (q_ == nullptr || committed_) return;
+  lane_->active.truncate(start_);
+  if (start_ == 0) q_->release_storage_locked(*lane_);
 }
 
 void OutgoingQueues::prime(Lane& lane) {
   if (lane.active.capacity() != 0) return;
   bool hit = false;
-  lane.active = pool_.acquire(threshold_ + kRecordSlack, &hit);
+  lane.active = pool_.acquire(
+      std::min(kLaneInitialBytes, threshold_ + kRecordSlack), &hit);
   if (!hit) metrics_.buffers_allocated->inc();
+  metrics_.live_lanes->add(1);
+}
+
+void OutgoingQueues::release_storage_locked(Lane& lane) {
+  if (lane.active.capacity() == 0) return;
+  recycle(std::move(lane.active));
+  lane.active = ByteBuffer{};
+  metrics_.live_lanes->sub(1);
 }
 
 OutgoingQueues::RecordWriter OutgoingQueues::begin_record(pe_id dst) {
-  Lane& lane = *lanes_[dst];
-  std::unique_lock lock(lane.mu);
-  prime(lane);
-  return RecordWriter(*this, dst, lane.active, lane.active.size(),
-                      std::move(lock));
+  Lane& l = lane(dst);
+  std::unique_lock lock(l.mu);
+  prime(l);
+  return RecordWriter(*this, dst, l, l.active.size(), std::move(lock));
 }
 
 void OutgoingQueues::commit_record(RecordWriter& w, const ProgressFn& progress) {
-  Lane& lane = *lanes_[w.dst_];
+  Lane& lane = *w.lane_;
   const bool was_counted = w.start_ > 0;
   const std::size_t record_bytes = lane.active.size() - w.start_;
   w.committed_ = true;
@@ -97,6 +124,8 @@ void OutgoingQueues::commit_record(RecordWriter& w, const ProgressFn& progress) 
     lane.active = ByteBuffer{};
     traced = std::move(lane.traced);
     lane.traced.clear();
+    lane.occupied.store(false, std::memory_order_release);
+    metrics_.live_lanes->sub(1);
     if (was_counted) {
       nonempty_lanes_.fetch_sub(1, std::memory_order_relaxed);
       metrics_.nonempty_lanes->sub(1);
@@ -105,8 +134,14 @@ void OutgoingQueues::commit_record(RecordWriter& w, const ProgressFn& progress) 
                                 : metrics_.flush_threshold)
         ->inc();
   } else if (!was_counted && record_bytes > 0) {
+    lane.occupied.store(true, std::memory_order_release);
     nonempty_lanes_.fetch_add(1, std::memory_order_relaxed);
     metrics_.nonempty_lanes->add(1);
+  } else if (record_bytes == 0 && lane.active.empty()) {
+    // Zero-byte commit on an empty lane (e.g. a routed record that was
+    // pulled back out for the direct path): do not leave primed storage
+    // pinned on a lane that carries nothing.
+    release_storage_locked(lane);
   }
   w.lock_.unlock();
   if (!to_send.empty()) {
@@ -133,16 +168,25 @@ void OutgoingQueues::send_now(pe_id dst, ByteBuffer buf,
 }
 
 void OutgoingQueues::flush(pe_id dst, const ProgressFn& progress) {
-  Lane& lane = *lanes_[dst];
+  Lane* lp = lanes_[dst].load(std::memory_order_acquire);
+  if (lp == nullptr) return;
+  Lane& lane = *lp;
   ByteBuffer to_send;
   std::vector<TracedRecord> traced;
   {
     std::lock_guard lock(lane.mu);
-    if (lane.active.empty()) return;
+    if (lane.active.empty()) {
+      // Primed-but-empty (rolled back, or drained by a concurrent swap):
+      // leave nothing pinned.
+      release_storage_locked(lane);
+      return;
+    }
     to_send = std::move(lane.active);
     lane.active = ByteBuffer{};
     traced = std::move(lane.traced);
     lane.traced.clear();
+    lane.occupied.store(false, std::memory_order_release);
+    metrics_.live_lanes->sub(1);
     nonempty_lanes_.fetch_sub(1, std::memory_order_relaxed);
     metrics_.nonempty_lanes->sub(1);
   }
@@ -153,7 +197,18 @@ void OutgoingQueues::flush(pe_id dst, const ProgressFn& progress) {
 }
 
 void OutgoingQueues::flush_all(const ProgressFn& progress) {
-  for (pe_id dst = 0; dst < lanes_.size(); ++dst) flush(dst, progress);
+  const std::size_t n = lanes_.size();
+  for (pe_id dst = 0; dst < n; ++dst) {
+    // Skip never-created and provably-empty lanes without their locks; the
+    // occupancy hint is maintained under the lane lock, and any commit that
+    // races past this check is a record staged after flush_all began —
+    // outside this flush's obligations (has_pending() still reports it).
+    Lane* lane = lanes_[dst].load(std::memory_order_acquire);
+    if (lane == nullptr || !lane->occupied.load(std::memory_order_acquire)) {
+      continue;
+    }
+    flush(dst, progress);
+  }
 }
 
 void OutgoingQueues::recycle(ByteBuffer buf) {

@@ -11,11 +11,18 @@
 // paper describes around the 100 KB default.  Swapped-out buffers are
 // replaced from a per-PE BufferPool, and receivers recycle drained inbox
 // buffers back into it, so steady-state traffic performs no heap growth.
+//
+// Memory discipline at high PE counts (DESIGN.md §12): lanes are created
+// lazily on first use and acquire only a small initial buffer that grows
+// organically toward the threshold; whenever a lane is left empty (swap,
+// flush, rollback) its storage returns to the pool.  A PE therefore pays
+// for the lanes it actually talks through — O(sqrt P) under 2-hop routing —
+// not for all P destinations.  The `cmdq.live_lanes` gauge tracks lanes
+// currently holding storage.
 #pragma once
 
 #include <atomic>
 #include <functional>
-#include <memory>
 #include <mutex>
 #include <span>
 #include <vector>
@@ -37,7 +44,30 @@ class OutgoingQueues {
 
   OutgoingQueues(Lamellae& lamellae, std::size_t flush_threshold,
                  obs::TraceCollector* tracer = nullptr);
+  ~OutgoingQueues();
 
+ private:
+  /// One trace-sampled record staged in a lane's active buffer, awaiting
+  /// its departure timestamp.
+  struct TracedRecord {
+    std::uint64_t span = 0;
+    std::size_t ts_offset = 0;   // of the wire trace-ext ts field
+    sim_nanos staged_at = 0;     // lane-residency start (inject time)
+  };
+
+  struct Lane {
+    mutable std::mutex mu;
+    ByteBuffer active;
+    /// Sampled records currently staged in `active` (almost always empty;
+    /// moved out together with the buffer when it departs).
+    std::vector<TracedRecord> traced;
+    /// Relaxed occupancy hint, written only under `mu`: lets flush_all skip
+    /// provably-empty lanes without acquiring their locks (O(live) instead
+    /// of O(P) mutex round-trips per quiesce).
+    std::atomic<bool> occupied{false};
+  };
+
+ public:
   /// An open in-place record on one destination lane.  Holds the lane lock
   /// from begin_record() until commit_record() (or destruction, which rolls
   /// an uncommitted record back), so the caller may serialize directly into
@@ -49,7 +79,7 @@ class OutgoingQueues {
     ~RecordWriter();
 
     /// The lane's active buffer; append the record at the current end.
-    [[nodiscard]] ByteBuffer& buffer() { return *buf_; }
+    [[nodiscard]] ByteBuffer& buffer() { return lane_->active; }
     /// Offset in buffer() where this record starts.
     [[nodiscard]] std::size_t record_start() const { return start_; }
 
@@ -62,14 +92,14 @@ class OutgoingQueues {
 
    private:
     friend class OutgoingQueues;
-    RecordWriter(OutgoingQueues& q, pe_id dst, ByteBuffer& buf,
-                 std::size_t start, std::unique_lock<std::mutex> lock)
-        : q_(&q), dst_(dst), buf_(&buf), start_(start),
+    RecordWriter(OutgoingQueues& q, pe_id dst, Lane& lane, std::size_t start,
+                 std::unique_lock<std::mutex> lock)
+        : q_(&q), dst_(dst), lane_(&lane), start_(start),
           lock_(std::move(lock)) {}
 
     OutgoingQueues* q_;
     pe_id dst_;
-    ByteBuffer* buf_;
+    Lane* lane_;
     std::size_t start_;
     std::unique_lock<std::mutex> lock_;
     bool committed_ = false;
@@ -94,7 +124,8 @@ class OutgoingQueues {
   /// Flush any partially filled buffer for `dst`.
   void flush(pe_id dst, const ProgressFn& progress);
 
-  /// Flush every destination.
+  /// Flush every destination with staged bytes.  Lanes that were never
+  /// created or are provably empty are skipped without taking their locks.
   void flush_all(const ProgressFn& progress);
 
   /// Return a drained buffer (swapped-out lane or inbox payload) to the
@@ -110,25 +141,10 @@ class OutgoingQueues {
   [[nodiscard]] BufferPool& pool() { return pool_; }
 
  private:
-  /// One trace-sampled record staged in a lane's active buffer, awaiting
-  /// its departure timestamp.
-  struct TracedRecord {
-    std::uint64_t span = 0;
-    std::size_t ts_offset = 0;   // of the wire trace-ext ts field
-    sim_nanos staged_at = 0;     // lane-residency start (inject time)
-  };
-
-  struct Lane {
-    mutable std::mutex mu;
-    ByteBuffer active;
-    /// Sampled records currently staged in `active` (almost always empty;
-    /// moved out together with the buffer when it departs).
-    std::vector<TracedRecord> traced;
-  };
-
   // Resolved once from the PE's metrics registry ("cmdq.*" namespace):
   // buffers/bytes handed to the fabric, flushes split by cause, pool
-  // traffic, and full-inbox stalls observed while transmitting.
+  // traffic, full-inbox stalls observed while transmitting, and the gauge
+  // of lanes currently holding buffer storage.
   struct CmdQueueCounters {
     obs::Counter* buffers_sent;
     obs::Counter* bytes_sent;
@@ -140,10 +156,20 @@ class OutgoingQueues {
     obs::Counter* buffers_allocated;
     obs::Histogram* stage_inject_flush;  // am.stage_inject_flush_ns
     obs::Gauge* nonempty_lanes;          // cmdq.nonempty_lanes
+    obs::Gauge* live_lanes;              // cmdq.live_lanes
   };
+
+  /// Get-or-create the lane for `dst` (lanes are materialized on first
+  /// use, so a PE that never talks to `dst` pays one pointer).
+  Lane& lane(pe_id dst);
 
   /// Ensure `lane.active` has pooled backing storage (called under lock).
   void prime(Lane& lane);
+
+  /// Return an empty lane's backing storage to the pool (called under the
+  /// lane lock with `lane.active` empty): idle lanes hold no memory.
+  void release_storage_locked(Lane& lane);
+
   void transmit(pe_id dst, ByteBuffer buf, const ProgressFn& progress);
 
   /// Stamp the departure time into every traced record of a departing
@@ -154,7 +180,11 @@ class OutgoingQueues {
   Lamellae& lamellae_;
   obs::TraceCollector* tracer_;
   std::size_t threshold_;
-  std::vector<std::unique_ptr<Lane>> lanes_;
+  /// Lazily created lanes: a slot is null until the first record for that
+  /// destination.  Readers load acquire; creation is serialized by
+  /// lanes_mu_ and published with a release store.
+  std::vector<std::atomic<Lane*>> lanes_;
+  std::mutex lanes_mu_;
   BufferPool pool_;
   std::atomic<std::size_t> nonempty_lanes_{0};
   CmdQueueCounters metrics_;

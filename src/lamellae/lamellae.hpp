@@ -106,6 +106,10 @@ class Lamellae {
 
   /// True when src->dst crosses a modeled node boundary.
   [[nodiscard]] virtual bool remote_to(pe_id dst) const = 0;
+
+  /// PEs co-located per modeled node (the RouteGrid uses this to align
+  /// 2-hop relay rows with nodes).  Backends without a node concept report 1.
+  [[nodiscard]] virtual std::size_t pes_per_node() const { return 1; }
 };
 
 }  // namespace lamellar

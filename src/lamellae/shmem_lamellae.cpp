@@ -9,7 +9,7 @@ ShmemLamellaeGroup::ShmemLamellaeGroup(std::size_t num_pes, Layout layout,
       fabric_(num_pes, layout.total(), params, mapping, virtual_time,
               metrics_enabled),
       symmetric_heap_(layout.internal_bytes, layout.symmetric_bytes),
-      alloc_seq_(num_pes, 0) {
+      alloc_seq_(num_pes) {
   const std::size_t onesided_base =
       layout.internal_bytes + layout.symmetric_bytes;
   onesided_heaps_.reserve(num_pes);
@@ -25,24 +25,24 @@ std::unique_ptr<ShmemLamellae> ShmemLamellaeGroup::endpoint(pe_id pe) {
 
 void ShmemLamellaeGroup::collective_free(std::size_t offset,
                                          std::size_t participants) {
-  std::unique_lock lock(collective_mu_);
-  auto [it, inserted] = pending_frees_.try_emplace(offset);
+  CollectiveShard& shard = free_shard(offset);
+  std::unique_lock lock(shard.mu);
+  auto [it, inserted] = shard.pending_frees.try_emplace(offset);
   it->second.participants = participants;
   if (++it->second.calls == participants) {
-    pending_frees_.erase(it);
+    shard.pending_frees.erase(it);
     symmetric_heap_.free(offset);
   }
 }
 
 std::size_t ShmemLamellae::alloc_symmetric(std::size_t bytes,
                                            std::size_t align) {
-  std::uint64_t key = 0;
-  {
-    std::unique_lock lock(group_.collective_mu_);
-    // World-wide collectives use a per-PE sequence number in a reserved key
-    // space; team collectives pass their own keys via the _group variant.
-    key = (1ULL << 63) | group_.alloc_seq_[pe_]++;
-  }
+  // World-wide collectives use a per-PE sequence number in a reserved key
+  // space; team collectives pass their own keys via the _group variant.
+  // The sequence must match across PEs, so the key carries no PE bits.
+  const std::uint64_t key =
+      (1ULL << 63) |
+      group_.alloc_seq_[pe_].fetch_add(1, std::memory_order_relaxed);
   return alloc_symmetric_group(key, num_pes(), bytes, align);
 }
 
@@ -50,18 +50,19 @@ std::size_t ShmemLamellae::alloc_symmetric_group(std::uint64_t key,
                                                  std::size_t participants,
                                                  std::size_t bytes,
                                                  std::size_t align) {
-  std::unique_lock lock(group_.collective_mu_);
-  auto it = group_.pending_allocs_.find(key);
-  if (it == group_.pending_allocs_.end()) {
+  ShmemLamellaeGroup::CollectiveShard& shard = group_.alloc_shard(key);
+  std::unique_lock lock(shard.mu);
+  auto it = shard.pending_allocs.find(key);
+  if (it == shard.pending_allocs.end()) {
     const std::size_t offset = group_.symmetric_heap_.alloc(bytes, align);
     if (participants > 1) {
-      group_.pending_allocs_.emplace(
+      shard.pending_allocs.emplace(
           key, ShmemLamellaeGroup::PendingAlloc{offset, participants - 1});
     }
     return offset;
   }
   const std::size_t offset = it->second.offset;
-  if (--it->second.remaining == 0) group_.pending_allocs_.erase(it);
+  if (--it->second.remaining == 0) shard.pending_allocs.erase(it);
   return offset;
 }
 

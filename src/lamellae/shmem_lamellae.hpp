@@ -7,7 +7,11 @@
 // layout: a runtime-reserved region plus a dynamic heap.
 #pragma once
 
+#include <array>
+#include <atomic>
+#include <cstdint>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -62,18 +66,35 @@ class ShmemLamellaeGroup {
   OffsetHeap symmetric_heap_;
   std::vector<std::unique_ptr<OffsetHeap>> onesided_heaps_;
 
-  std::mutex collective_mu_;
   struct PendingAlloc {
     std::size_t offset = 0;
     std::size_t remaining = 0;
   };
-  std::unordered_map<std::uint64_t, PendingAlloc> pending_allocs_;
   struct PendingFree {
     std::size_t calls = 0;
     std::size_t participants = 0;
   };
-  std::unordered_map<std::size_t, PendingFree> pending_frees_;
-  std::vector<std::uint64_t> alloc_seq_;  // per-PE collective sequence number
+  // Rendezvous state sharded by collective key / freed offset so that at
+  // high PE counts unrelated collectives do not serialize on one global
+  // mutex (the heap itself is internally locked).  Padded to a cache line
+  // each to keep shard locks from false-sharing.
+  static constexpr std::size_t kCollectiveShards = 16;
+  struct alignas(64) CollectiveShard {
+    std::mutex mu;
+    std::unordered_map<std::uint64_t, PendingAlloc> pending_allocs;
+    std::unordered_map<std::size_t, PendingFree> pending_frees;
+  };
+  CollectiveShard& alloc_shard(std::uint64_t key) {
+    return collective_shards_[key % kCollectiveShards];
+  }
+  CollectiveShard& free_shard(std::size_t offset) {
+    return collective_shards_[std::hash<std::size_t>{}(offset) %
+                              kCollectiveShards];
+  }
+  std::array<CollectiveShard, kCollectiveShards> collective_shards_;
+  /// Per-PE collective sequence numbers, lock-free: the n-th world-wide
+  /// collective call on every PE derives the same key with no shared lock.
+  std::vector<std::atomic<std::uint64_t>> alloc_seq_;
 };
 
 class ShmemLamellae final : public Lamellae {
@@ -149,6 +170,9 @@ class ShmemLamellae final : public Lamellae {
   void charge(double ns) override { group_.fabric_.charge(pe_, ns); }
   [[nodiscard]] bool remote_to(pe_id dst) const override {
     return !group_.fabric_.mapping().same_node(pe_, dst);
+  }
+  [[nodiscard]] std::size_t pes_per_node() const override {
+    return group_.fabric_.mapping().pes_per_node;
   }
 
  private:
