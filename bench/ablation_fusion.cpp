@@ -32,7 +32,7 @@ double ms_since(Clock::time_point t0) {
 }  // namespace
 
 int main() {
-  const RuntimeConfig cfg = RuntimeConfig::from_env();
+  const RuntimeConfig cfg = bench::bench_config();
   const std::size_t ops = env_size("LAMELLAR_FUSION_OPS", 4096);
   const std::size_t iters = env_size("LAMELLAR_FUSION_ITERS", 24);
   constexpr std::size_t kArrLen = 1 << 16;

@@ -2,10 +2,32 @@
 #pragma once
 
 #include <cctype>
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 
+#include "common/config.hpp"
+
 namespace lamellar::bench {
+
+/// Env config for a figure bench.  The drivers collect results (rates,
+/// verification, snapshots) by writing captured locals from the SPMD body,
+/// which only works when PEs share the launching process — under
+/// LAMELLAR_BACKEND=mmap those writes would die with the forked children
+/// and every row would read 0.0/NO.  Pin the bench worlds to the in-process
+/// backend and say so, rather than reporting nonsense.
+inline RuntimeConfig bench_config() {
+  RuntimeConfig cfg = RuntimeConfig::from_env();
+  if (cfg.backend == BackendKind::kMmap) {
+    std::fprintf(stderr,
+                 "bench: LAMELLAR_BACKEND=mmap is not supported by the "
+                 "figure drivers (results are collected in-process); "
+                 "running shmem.  Use ctest -L mp or the examples/ binaries "
+                 "to exercise the mmap backend.\n");
+    cfg.backend = BackendKind::kShmem;
+  }
+  return cfg;
+}
 
 /// Backend/impl filter: LAMELLAR_FIG_IMPL unset or empty selects every
 /// impl; otherwise an impl runs only when the variable is a

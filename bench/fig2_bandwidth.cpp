@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "lamellar.hpp"
 #include "obs/report.hpp"
 
@@ -67,7 +68,7 @@ int main() {
   };
   std::vector<Row> rows;
 
-  RuntimeConfig cfg = RuntimeConfig::from_env();
+  RuntimeConfig cfg = bench::bench_config();
   cfg.threads_per_pe = 1;
   cfg.symmetric_heap_bytes = 256ULL * 1024 * 1024;
   obs::MetricsSnapshot snap;

@@ -21,7 +21,7 @@ int main() {
                          Backend::kConveyor,   Backend::kSelector,
                          Backend::kChapel};
 
-  const RuntimeConfig cfg = RuntimeConfig::from_env();
+  const RuntimeConfig cfg = bench::bench_config();
   std::printf("# Fig.3 (a): live in-process histogram, 4 PEs, virtual time\n");
   std::printf("%-16s %12s %10s\n", "impl", "MUPS", "verified");
   for (auto backend : backends) {

@@ -20,7 +20,7 @@ int main() {
                       RandpermImpl::kAmDartOpt, RandpermImpl::kAmPush,
                       RandpermImpl::kExstack};
 
-  const RuntimeConfig cfg = RuntimeConfig::from_env();
+  const RuntimeConfig cfg = bench::bench_config();
   std::printf("# Fig.5 (a): live in-process randperm, 4 PEs, virtual time\n");
   std::printf("%-16s %14s %10s\n", "impl", "time (ms)", "verified");
   for (auto impl : impls) {

@@ -68,6 +68,13 @@ RouteMode parse_route_mode(const std::string& s) {
   throw std::invalid_argument("LAMELLAR_ROUTE must be direct|2hop, got: " + s);
 }
 
+BackendKind parse_backend_kind(const std::string& s) {
+  if (s == "shmem") return BackendKind::kShmem;
+  if (s == "mmap") return BackendKind::kMmap;
+  throw std::invalid_argument("LAMELLAR_BACKEND must be shmem|mmap, got: " +
+                              s);
+}
+
 RuntimeConfig RuntimeConfig::from_env() {
   RuntimeConfig cfg;
   cfg.threads_per_pe = env_size("LAMELLAR_THREADS", cfg.threads_per_pe);
@@ -98,6 +105,12 @@ RuntimeConfig RuntimeConfig::from_env() {
   cfg.internal_heap_bytes =
       env_size("LAMELLAR_INTERNAL_HEAP", cfg.internal_heap_bytes);
   cfg.park_timeout_us = env_u64("LAMELLAR_PARK_US", cfg.park_timeout_us);
+  cfg.backend = parse_backend_kind(env_str("LAMELLAR_BACKEND", "shmem"));
+  cfg.mp_ring_bytes = env_size("LAMELLAR_MP_RING", cfg.mp_ring_bytes);
+  cfg.mp_barrier_timeout_ms =
+      env_u64("LAMELLAR_MP_BARRIER_TIMEOUT_MS", cfg.mp_barrier_timeout_ms);
+  cfg.mp_wait_timeout_ms =
+      env_u64("LAMELLAR_MP_TIMEOUT_MS", cfg.mp_wait_timeout_ms);
   return cfg;
 }
 

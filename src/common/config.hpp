@@ -32,6 +32,15 @@ enum class RouteMode {
   k2Hop,
 };
 
+/// Which Lamellae implementation run_world builds (env: LAMELLAR_BACKEND=
+/// shmem|mmap).  kShmem simulates PEs as threads in one address space;
+/// kMmap forks one OS process per PE over a shared /dev/shm segment
+/// (DESIGN.md §13).
+enum class BackendKind {
+  kShmem,
+  kMmap,
+};
+
 struct RuntimeConfig {
   /// Worker threads per PE (paper: best results with 4 threads per PE, one
   /// PE per NUMA node).  Default is small because tests run many PEs within
@@ -119,6 +128,25 @@ struct RuntimeConfig {
   /// cores) so parked workers do not thrash the scheduler.
   std::uint64_t park_timeout_us = 200;
 
+  /// Lamellae backend selection (env: LAMELLAR_BACKEND=shmem|mmap; default
+  /// shmem).  See BackendKind.
+  BackendKind backend = BackendKind::kShmem;
+
+  /// mmap backend: capacity in bytes of each (dst, src) cross-process ring
+  /// (env: LAMELLAR_MP_RING; default 1 MB).  Clamped up at segment creation
+  /// so a full aggregation buffer always fits.
+  std::size_t mp_ring_bytes = std::size_t{1} * 1024 * 1024;
+
+  /// mmap backend: bounded-wait barrier timeout in milliseconds before
+  /// aborting with a diagnostic naming the straggler PEs
+  /// (env: LAMELLAR_MP_BARRIER_TIMEOUT_MS; default 10000).
+  std::uint64_t mp_barrier_timeout_ms = 10'000;
+
+  /// mmap backend: parent-side join timeout in milliseconds; children still
+  /// alive after this are SIGKILLed and reported
+  /// (env: LAMELLAR_MP_TIMEOUT_MS; default 120000).
+  std::uint64_t mp_wait_timeout_ms = 120'000;
+
   /// Load overrides from LAMELLAR_* environment variables.
   static RuntimeConfig from_env();
 };
@@ -129,5 +157,6 @@ std::uint64_t env_u64(const char* name, std::uint64_t fallback);
 std::string env_str(const char* name, const std::string& fallback);
 MetricsMode parse_metrics_mode(const std::string& s);
 RouteMode parse_route_mode(const std::string& s);
+BackendKind parse_backend_kind(const std::string& s);
 
 }  // namespace lamellar

@@ -1,0 +1,69 @@
+// Thin wrappers over the Linux futex syscall for cross-PROCESS
+// synchronization on words living in shared (mmap'd) memory.
+//
+// std::atomic wait/notify cannot be used here: libstdc++ routes small-type
+// waits through a process-local table of proxy futexes, so a notify in one
+// process never wakes a waiter in another.  These helpers issue the raw
+// syscall on the shared word itself and deliberately omit
+// FUTEX_PRIVATE_FLAG, making wake-ups visible across address spaces.
+//
+// Every waiter in this codebase is bounded: callers pass a timeout slice and
+// re-check higher-level liveness state (peer pids, abort flags) between
+// slices, so a crashed peer can never strand a waiter forever — the property
+// the MmapLamellae barrier is built on (DESIGN.md §13).
+#pragma once
+
+#include <linux/futex.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <climits>
+#include <cstdint>
+#include <ctime>
+
+namespace lamellar {
+
+/// Outcome of one bounded futex wait.
+enum class FutexWait {
+  kWoken,     ///< woken by futex_wake (or a spurious wake — re-check)
+  kChanged,   ///< *addr != expected at syscall entry; no sleep happened
+  kTimedOut,  ///< the timeout slice elapsed
+};
+
+/// Sleep while `*addr == expected`, for at most `timeout_ns` (<= 0 waits
+/// indefinitely — every caller in this codebase passes a bound).
+/// The atomic must be lock-free and address-free (static_asserted: this is
+/// what makes it usable from multiple processes mapping the same page).
+inline FutexWait futex_wait(const std::atomic<std::uint32_t>* addr,
+                            std::uint32_t expected, std::int64_t timeout_ns) {
+  static_assert(std::atomic<std::uint32_t>::is_always_lock_free);
+  static_assert(sizeof(std::atomic<std::uint32_t>) == sizeof(std::uint32_t));
+  timespec ts{};
+  ts.tv_sec = timeout_ns / 1'000'000'000;
+  ts.tv_nsec = timeout_ns % 1'000'000'000;
+  const long rc =
+      syscall(SYS_futex, reinterpret_cast<const std::uint32_t*>(addr),
+              FUTEX_WAIT, expected, timeout_ns > 0 ? &ts : nullptr, nullptr, 0);
+  if (rc == 0) return FutexWait::kWoken;
+  switch (errno) {
+    case EAGAIN:
+      return FutexWait::kChanged;
+    case ETIMEDOUT:
+      return FutexWait::kTimedOut;
+    default:  // EINTR and friends: treat as a wake and let the caller re-check
+      return FutexWait::kWoken;
+  }
+}
+
+/// Wake up to `n` waiters sleeping on `addr` (INT_MAX = all).  Returns the
+/// number of waiters woken.
+inline int futex_wake(std::atomic<std::uint32_t>* addr, int n = INT_MAX) {
+  const long rc = syscall(
+      SYS_futex, reinterpret_cast<std::uint32_t*>(addr), FUTEX_WAKE, n,
+      nullptr, nullptr, 0);
+  return rc < 0 ? 0 : static_cast<int>(rc);
+}
+
+}  // namespace lamellar

@@ -1,0 +1,196 @@
+#include "common/process_group.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <exception>
+
+#include "common/error.hpp"
+
+namespace lamellar {
+
+namespace {
+
+void set_nonblock(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+/// Append whatever is currently readable; returns false once the writer end
+/// is closed (EOF).
+bool drain(int fd, std::string& into) {
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = read(fd, buf, sizeof buf);
+    if (n > 0) {
+      into.append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) return false;  // EOF
+    return errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR;
+  }
+}
+
+std::uint64_t now_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+std::string ProcessGroup::Child::describe() const {
+  if (killed_on_timeout) return "killed by the parent after timeout";
+  if (exited) return "exited with code " + std::to_string(code);
+  std::string s = "killed by signal " + std::to_string(signal);
+  if (const char* name = strsignal(signal)) s += std::string(" (") + name + ")";
+  return s;
+}
+
+ProcessGroup::~ProcessGroup() {
+  // Never leave orphans: kill and reap anything not yet collected.
+  for (auto& t : children_) {
+    if (t.child.reaped || t.child.pid <= 0) continue;
+    kill(t.child.pid, SIGKILL);
+    waitpid(t.child.pid, nullptr, 0);
+    if (t.out_fd >= 0) close(t.out_fd);
+    if (t.err_fd >= 0) close(t.err_fd);
+  }
+}
+
+std::size_t ProcessGroup::spawn(const std::function<int()>& body) {
+  if (waited_) throw Error("ProcessGroup: spawn after wait_all");
+  int out_pipe[2];
+  int err_pipe[2];
+  if (pipe(out_pipe) != 0 || pipe(err_pipe) != 0) {
+    throw Error("ProcessGroup: pipe failed: " +
+                std::string(std::strerror(errno)));
+  }
+  // Flush before forking so buffered parent output is not duplicated into
+  // the child's copy of the stdio buffers.
+  std::fflush(stdout);
+  std::fflush(stderr);
+  const pid_t pid = fork();
+  if (pid < 0) {
+    throw Error("ProcessGroup: fork failed: " +
+                std::string(std::strerror(errno)));
+  }
+  if (pid == 0) {
+    // Child: route stdout/stderr into the pipes, run the body, _exit.
+    close(out_pipe[0]);
+    close(err_pipe[0]);
+    dup2(out_pipe[1], STDOUT_FILENO);
+    dup2(err_pipe[1], STDERR_FILENO);
+    close(out_pipe[1]);
+    close(err_pipe[1]);
+    int code = 1;
+    try {
+      code = body();
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "uncaught exception: %s\n", e.what());
+    } catch (...) {
+      std::fprintf(stderr, "uncaught non-standard exception\n");
+    }
+    std::fflush(stdout);
+    std::fflush(stderr);
+    _exit(code);
+  }
+  close(out_pipe[1]);
+  close(err_pipe[1]);
+  set_nonblock(out_pipe[0]);
+  set_nonblock(err_pipe[0]);
+  Tracked t;
+  t.child.pid = pid;
+  t.child.index = children_.size();
+  t.out_fd = out_pipe[0];
+  t.err_fd = err_pipe[0];
+  children_.push_back(std::move(t));
+  return children_.back().child.index;
+}
+
+std::vector<ProcessGroup::Child> ProcessGroup::wait_all(
+    std::uint64_t timeout_ms,
+    const std::function<void(const Child&)>& on_reaped) {
+  waited_ = true;
+  const std::uint64_t start = now_ms();
+  bool killed_for_timeout = false;
+  std::size_t remaining = 0;
+  for (const auto& t : children_) {
+    if (!t.child.reaped) ++remaining;
+  }
+  while (remaining > 0) {
+    // Drain pipes first: a child blocked on a full pipe must make progress
+    // before it can exit.
+    std::vector<pollfd> fds;
+    for (auto& t : children_) {
+      if (t.out_fd >= 0) fds.push_back({t.out_fd, POLLIN, 0});
+      if (t.err_fd >= 0) fds.push_back({t.err_fd, POLLIN, 0});
+    }
+    if (!fds.empty()) poll(fds.data(), fds.size(), 20);
+    for (auto& t : children_) {
+      if (t.out_fd >= 0 && !drain(t.out_fd, t.child.out)) {
+        close(t.out_fd);
+        t.out_fd = -1;
+      }
+      if (t.err_fd >= 0 && !drain(t.err_fd, t.child.err)) {
+        close(t.err_fd);
+        t.err_fd = -1;
+      }
+    }
+    for (auto& t : children_) {
+      if (t.child.reaped) continue;
+      int status = 0;
+      const pid_t r = waitpid(t.child.pid, &status, WNOHANG);
+      if (r != t.child.pid) continue;
+      t.child.reaped = true;
+      if (WIFEXITED(status)) {
+        t.child.exited = true;
+        t.child.code = WEXITSTATUS(status);
+      } else if (WIFSIGNALED(status)) {
+        t.child.signal = WTERMSIG(status);
+      }
+      t.child.killed_on_timeout =
+          killed_for_timeout && !t.child.ok() && t.child.signal == SIGKILL;
+      --remaining;
+      if (on_reaped) on_reaped(t.child);
+    }
+    if (remaining > 0 && !killed_for_timeout && timeout_ms > 0 &&
+        now_ms() - start > timeout_ms) {
+      killed_for_timeout = true;
+      for (auto& t : children_) {
+        if (!t.child.reaped) kill(t.child.pid, SIGKILL);
+      }
+    }
+  }
+  // Final pipe sweep: bytes written just before exit.
+  for (auto& t : children_) {
+    if (t.out_fd >= 0) {
+      drain(t.out_fd, t.child.out);
+      close(t.out_fd);
+      t.out_fd = -1;
+    }
+    if (t.err_fd >= 0) {
+      drain(t.err_fd, t.child.err);
+      close(t.err_fd);
+      t.err_fd = -1;
+    }
+  }
+  std::vector<Child> out;
+  out.reserve(children_.size());
+  for (auto& t : children_) out.push_back(t.child);
+  return out;
+}
+
+bool ProcessGroup::alive(pid_t pid) {
+  return pid > 0 && (kill(pid, 0) == 0 || errno != ESRCH);
+}
+
+}  // namespace lamellar

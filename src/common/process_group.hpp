@@ -1,0 +1,81 @@
+// Fork-based process lifecycle for the process-separated lamellae: spawn one
+// OS process per PE, capture its stdout/stderr through pipes, join with a
+// bounded wait, and reap with crash classification (exit code vs. signal).
+//
+// The children this runs are real address-space-separated PEs — the whole
+// point of the MmapLamellae backend — so the parent must stay robust to a
+// child dying at any instant: wait_all() drains pipes while reaping (a child
+// blocked on a full pipe is indistinguishable from a hung one otherwise),
+// kills stragglers after the deadline, and reports per-child outcomes
+// instead of hanging on the first casualty.
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace lamellar {
+
+class ProcessGroup {
+ public:
+  /// Outcome of one child, filled in by wait_all().
+  struct Child {
+    pid_t pid = -1;
+    std::size_t index = 0;   ///< spawn order (the PE id for lamellae use)
+    bool reaped = false;
+    bool exited = false;     ///< terminated via exit(); `code` is valid
+    int code = -1;           ///< exit code when `exited`
+    int signal = 0;          ///< terminating signal when !exited (0 if none)
+    bool killed_on_timeout = false;
+    std::string out;         ///< captured stdout bytes
+    std::string err;         ///< captured stderr bytes
+
+    [[nodiscard]] bool ok() const { return exited && code == 0; }
+    /// "exited with code 1" / "killed by signal 9 (SIGKILL)" ...
+    [[nodiscard]] std::string describe() const;
+  };
+
+  ProcessGroup() = default;
+  ~ProcessGroup();
+  ProcessGroup(const ProcessGroup&) = delete;
+  ProcessGroup& operator=(const ProcessGroup&) = delete;
+
+  /// Fork a child that runs `body` and _exit()s with its return value.  An
+  /// exception escaping `body` prints to the child's stderr and exits 1.
+  /// _exit (not exit) keeps the forked copy of the parent's state — gtest,
+  /// atexit hooks, static destructors — from running twice.  stdout/stderr
+  /// are redirected into pipes the parent drains during wait_all().
+  /// Returns the spawn index.
+  std::size_t spawn(const std::function<int()>& body);
+
+  /// Reap every child, draining output pipes while waiting.  Children still
+  /// alive after `timeout_ms` (0 = wait forever) are SIGKILLed and marked
+  /// `killed_on_timeout`.  `on_reaped`, when set, runs in the parent right
+  /// after each child is reaped (used to mark dead PEs in the shared
+  /// segment so surviving PEs' barriers diagnose them promptly).
+  std::vector<Child> wait_all(
+      std::uint64_t timeout_ms = 0,
+      const std::function<void(const Child&)>& on_reaped = nullptr);
+
+  [[nodiscard]] std::size_t size() const { return children_.size(); }
+  [[nodiscard]] pid_t pid_of(std::size_t index) const {
+    return children_[index].child.pid;
+  }
+
+  /// True when the process exists (zombies count as existing until reaped).
+  static bool alive(pid_t pid);
+
+ private:
+  struct Tracked {
+    Child child;
+    int out_fd = -1;
+    int err_fd = -1;
+  };
+  std::vector<Tracked> children_;
+  bool waited_ = false;
+};
+
+}  // namespace lamellar

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <thread>
 
+#include "core/world/mp_runtime.hpp"
 #include "obs/report.hpp"
 
 namespace lamellar {
@@ -36,6 +37,18 @@ void Team::barrier() {
   // Flush so AMs staged before the barrier are in flight, then rendezvous.
   // The team rank is the participant's stable identity in the tree barrier.
   world_->engine().flush();
+  if (world_->cross_process()) {
+    // Sibling PEs are other processes, so the in-process SenseBarrier can't
+    // reach them; the full-world team routes through the lamellae barrier.
+    // Sub-teams would need a team barrier in the shared segment — rejected
+    // at creation time by the mp rendezvous, so this cannot be one.
+    if (size() != world_->num_pes()) {
+      throw Error("Team::barrier: sub-team barrier under a process-separated "
+                  "backend");
+    }
+    world_->lamellae().barrier();
+    return;
+  }
   shared_->barrier.arrive_and_wait(my_rank(), &world_->lamellae().clock(),
                                    world_->lamellae().params().barrier_ns);
 }
@@ -80,36 +93,45 @@ std::size_t OneSidedRegistry::live() const {
 
 // ---- World ----
 
-World::World(WorldGroup& group, pe_id pe)
-    : group_(group), lamellae_(group.lamellae_group().endpoint(pe)) {
+World::World(WorldBackend& backend, std::unique_ptr<Lamellae> lamellae,
+             pe_id pe, WorldGroup* group)
+    : backend_(backend), group_(group), lamellae_(std::move(lamellae)) {
   // The pool's idle hook needs the engine, which needs the pool: break the
   // cycle with a deferred indirection.  The slot is atomic because workers
   // start polling it before the engine exists; the release store below
   // publishes the fully constructed engine to their acquire loads.
   auto engine_slot = std::make_shared<std::atomic<AmEngine*>>(nullptr);
   pool_ = std::make_unique<ThreadPool>(
-      group.config().threads_per_pe,
+      backend.config().threads_per_pe,
       [engine_slot] {
         if (AmEngine* eng = engine_slot->load(std::memory_order_acquire)) {
           eng->progress();
         }
       },
-      SchedulerObs{&lamellae_->metrics(), &group.tracer(), &lamellae_->clock(),
-                   pe},
-      std::chrono::microseconds(group.config().park_timeout_us));
-  engine_ = std::make_unique<AmEngine>(*lamellae_, *pool_, group.config(),
-                                       &group.tracer());
+      SchedulerObs{&lamellae_->metrics(), &backend.tracer(),
+                   &lamellae_->clock(), pe},
+      std::chrono::microseconds(backend.config().park_timeout_us));
+  engine_ = std::make_unique<AmEngine>(*lamellae_, *pool_, backend.config(),
+                                       &backend.tracer());
   engine_slot->store(engine_.get(), std::memory_order_release);
   engine_->bind_world(this);
   darcs_ = std::make_unique<DarcManager>(*engine_);
   onesided_ = std::make_unique<OneSidedRegistry>(*engine_);
 }
 
-const RuntimeConfig& World::config() const { return group_.config(); }
+const RuntimeConfig& World::config() const { return backend_.config(); }
+
+WorldGroup& World::group() {
+  if (group_ == nullptr) {
+    throw Error("World::group: no in-process WorldGroup under a "
+                "process-separated backend");
+  }
+  return *group_;
+}
 
 void World::barrier() {
   engine_->flush();
-  obs::TraceCollector& tracer = group_.tracer();
+  obs::TraceCollector& tracer = backend_.tracer();
   if (tracer.enabled()) {
     tracer.record({"barrier", "sync", my_pe(), lamellae_->clock().now(), 0,
                    'i', 0});
@@ -123,7 +145,7 @@ Team World::create_team(std::vector<pe_id> members) {
       std::binary_search(members.begin(), members.end(), my_pe());
   Team result{};
   if (member) {
-    auto shared = group_.rendezvous_team(my_pe(), std::move(members));
+    auto shared = backend_.rendezvous_team(my_pe(), std::move(members));
     result = Team(this, shared);
   }
   barrier();  // collective over the world
@@ -139,13 +161,13 @@ Team World::split_block(std::size_t block) {
   }
   // Every PE calls rendezvous with its own block; blocks rendezvous
   // independently keyed by their member sets via per-PE sequencing.
-  auto shared = group_.rendezvous_team(my_pe(), std::move(mine));
+  auto shared = backend_.rendezvous_team(my_pe(), std::move(mine));
   barrier();
   return Team(this, shared);
 }
 
 void World::finalize() {
-  while (!group_.quiesce_round(my_pe())) {
+  while (!backend_.quiesce_round(*this)) {
   }
   barrier();
 }
@@ -171,7 +193,8 @@ WorldGroup::WorldGroup(std::size_t num_pes, RuntimeConfig cfg,
       team_seq_(num_pes, 0) {
   worlds_.reserve(num_pes);
   for (pe_id pe = 0; pe < num_pes; ++pe) {
-    worlds_.push_back(std::make_unique<World>(*this, pe));
+    worlds_.push_back(std::make_unique<World>(
+        *this, lamellae_group_.endpoint(pe), pe, this));
   }
   // Each world starts with the all-PEs team.
   std::vector<pe_id> all(num_pes);
@@ -200,20 +223,6 @@ std::vector<obs::MetricsSnapshot> WorldGroup::metrics_snapshots() const {
   return snaps;
 }
 
-namespace {
-// "trace.json" -> "trace.pe3.json"; no extension -> "trace.pe3".
-std::string per_pe_trace_path(const std::string& base, pe_id pe) {
-  const std::size_t dot = base.rfind('.');
-  const std::size_t slash = base.rfind('/');
-  const std::string tag = ".pe" + std::to_string(pe);
-  if (dot == std::string::npos ||
-      (slash != std::string::npos && dot < slash)) {
-    return base + tag;
-  }
-  return base.substr(0, dot) + tag + base.substr(dot);
-}
-}  // namespace
-
 void WorldGroup::emit_reports() {
   if (reports_emitted_) return;
   reports_emitted_ = true;
@@ -226,7 +235,7 @@ void WorldGroup::emit_reports() {
   if (!cfg_.trace_file.empty()) {
     if (cfg_.trace_per_pe) {
       for (pe_id pe = 0; pe < worlds_.size(); ++pe) {
-        const std::string path = per_pe_trace_path(cfg_.trace_file, pe);
+        const std::string path = obs::per_pe_path(cfg_.trace_file, pe);
         if (!tracer_.write_chrome_json(path, static_cast<std::int64_t>(pe))) {
           std::fprintf(stderr, "lamellar: failed to write trace file %s\n",
                        path.c_str());
@@ -262,6 +271,10 @@ bool WorldGroup::quiesce_round(pe_id pe) {
   return quiesce_decision_.load(std::memory_order_acquire);
 }
 
+bool WorldGroup::quiesce_round(World& world) {
+  return quiesce_round(world.my_pe());
+}
+
 std::shared_ptr<TeamShared> WorldGroup::rendezvous_team(
     pe_id pe, std::vector<pe_id> members) {
   std::lock_guard lock(team_mu_);
@@ -290,6 +303,10 @@ std::shared_ptr<TeamShared> WorldGroup::rendezvous_team(
 void run_world(std::size_t npes, const std::function<void(World&)>& body,
                RuntimeConfig cfg, PerfParams params, PeMapping mapping,
                bool virtual_time) {
+  if (cfg.backend == BackendKind::kMmap) {
+    run_world_mmap(npes, body, cfg);
+    return;
+  }
   WorldGroup group(npes, cfg, params, mapping, virtual_time);
   std::vector<std::thread> mains;
   std::vector<std::exception_ptr> errors(npes);

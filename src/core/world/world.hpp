@@ -33,6 +33,30 @@ class WorldGroup;
 template <typename T>
 class OneSidedMemoryRegion;
 
+/// What a World needs from its launcher, independent of whether sibling PEs
+/// are threads in this process (WorldGroup) or forked processes over a
+/// shared segment (MpProcessRuntime, DESIGN.md §13).  Everything else a
+/// World does goes through its own Lamellae endpoint.
+class WorldBackend {
+ public:
+  virtual ~WorldBackend() = default;
+
+  [[nodiscard]] virtual const RuntimeConfig& config() const = 0;
+  virtual obs::TraceCollector& tracer() = 0;
+
+  /// One round of the termination-detection loop run by World::finalize;
+  /// true when the whole world reached quiescence.
+  virtual bool quiesce_round(World& world) = 0;
+
+  /// Collective team-creation rendezvous (see WorldGroup::rendezvous_team).
+  virtual std::shared_ptr<TeamShared> rendezvous_team(
+      pe_id pe, std::vector<pe_id> members) = 0;
+
+  /// True when sibling PEs live in other OS processes: team barriers must
+  /// then go through the lamellae instead of in-process structures.
+  [[nodiscard]] virtual bool cross_process() const { return false; }
+};
+
 /// One-sided memory-region lifetime registry: the origin PE tracks the
 /// total reference *weight*; see core/memregion/onesided_region.hpp for the
 /// weighted-counting protocol description.
@@ -64,7 +88,11 @@ class OneSidedRegistry {
 
 class World {
  public:
-  World(WorldGroup& group, pe_id pe);
+  /// `group` may be null: it is the in-process WorldGroup when the backend
+  /// is one (kept for group-wide helpers like stress harness quiescing),
+  /// and null under process-separated backends.
+  World(WorldBackend& backend, std::unique_ptr<Lamellae> lamellae, pe_id pe,
+        WorldGroup* group = nullptr);
   ~World() = default;
   World(const World&) = delete;
   World& operator=(const World&) = delete;
@@ -140,7 +168,16 @@ class World {
   OneSidedRegistry& onesided_registry() { return *onesided_; }
   ThreadPool& pool() { return *pool_; }
   [[nodiscard]] const RuntimeConfig& config() const;
-  WorldGroup& group() { return group_; }
+  WorldBackend& backend() { return backend_; }
+
+  /// The in-process WorldGroup, when this world was launched by one.
+  /// Throws under process-separated backends (use backend() there).
+  WorldGroup& group();
+
+  /// True when sibling PEs are other OS processes (LAMELLAR_BACKEND=mmap).
+  [[nodiscard]] bool cross_process() const {
+    return backend_.cross_process();
+  }
 
   /// Virtual time on this PE's clock (ns).
   [[nodiscard]] sim_nanos time_ns() { return lamellae_->clock().now(); }
@@ -162,9 +199,11 @@ class World {
 
  private:
   friend class WorldGroup;
+  friend class MpProcessRuntime;
 
-  WorldGroup& group_;
-  std::unique_ptr<ShmemLamellae> lamellae_;
+  WorldBackend& backend_;
+  WorldGroup* group_ = nullptr;
+  std::unique_ptr<Lamellae> lamellae_;
   std::unique_ptr<ThreadPool> pool_;
   std::unique_ptr<AmEngine> engine_;
   std::unique_ptr<DarcManager> darcs_;
@@ -173,14 +212,14 @@ class World {
 };
 
 /// The in-process "cluster": shared state plus one World per PE.
-class WorldGroup {
+class WorldGroup : public WorldBackend {
  public:
   explicit WorldGroup(std::size_t num_pes,
                       RuntimeConfig cfg = RuntimeConfig::from_env(),
                       PerfParams params = paper_perf_params(),
                       PeMapping mapping = PeMapping{},
                       bool virtual_time = true);
-  ~WorldGroup();
+  ~WorldGroup() override;
 
   WorldGroup(const WorldGroup&) = delete;
   WorldGroup& operator=(const WorldGroup&) = delete;
@@ -188,11 +227,11 @@ class WorldGroup {
   [[nodiscard]] std::size_t num_pes() const { return worlds_.size(); }
   World& world(pe_id pe) { return *worlds_[pe]; }
   ShmemLamellaeGroup& lamellae_group() { return lamellae_group_; }
-  [[nodiscard]] const RuntimeConfig& config() const { return cfg_; }
+  [[nodiscard]] const RuntimeConfig& config() const override { return cfg_; }
 
   /// Group-wide trace collector; null object pattern not used — may be
   /// consulted but is disabled unless LAMELLAR_TRACE_FILE is set.
-  obs::TraceCollector& tracer() { return tracer_; }
+  obs::TraceCollector& tracer() override { return tracer_; }
 
   /// Metrics snapshots for every PE (pe-indexed).
   [[nodiscard]] std::vector<obs::MetricsSnapshot> metrics_snapshots() const;
@@ -210,10 +249,11 @@ class WorldGroup {
   /// One round of the termination-detection loop run by World::finalize.
   /// Returns true when the group reached quiescence.
   bool quiesce_round(pe_id pe);
+  bool quiesce_round(World& world) override;
 
   /// Shared team registry: collective team creation rendezvous.
-  std::shared_ptr<TeamShared> rendezvous_team(pe_id pe,
-                                              std::vector<pe_id> members);
+  std::shared_ptr<TeamShared> rendezvous_team(
+      pe_id pe, std::vector<pe_id> members) override;
 
  private:
   RuntimeConfig cfg_;

@@ -4,9 +4,17 @@
 
 namespace lamellar {
 
+// Internal bookkeeping is BASE-RELATIVE: free_/live_ keys are offsets from
+// base_, never base-absolute values.  The arena-absolute offsets the public
+// API trades in are formed/stripped only at the boundary.  This matters for
+// the process-separated backend: heap replicas in different processes (and
+// a heap whose arena is mapped at several addresses, see the MAP_FIXED
+// regression test) must carry state whose meaning is independent of where —
+// or at what base — the arena lives.
+
 OffsetHeap::OffsetHeap(std::size_t base, std::size_t size)
     : base_(base), size_(size) {
-  if (size > 0) free_.emplace(base, size);
+  if (size > 0) free_.emplace(0, size);
 }
 
 std::size_t OffsetHeap::alloc(std::size_t bytes, std::size_t align) {
@@ -16,7 +24,9 @@ std::size_t OffsetHeap::alloc(std::size_t bytes, std::size_t align) {
   for (auto it = free_.begin(); it != free_.end(); ++it) {
     const std::size_t start = it->first;
     const std::size_t len = it->second;
-    const std::size_t aligned = align_up(start, align);
+    // Alignment is a property of the absolute offset the caller sees, so
+    // align in absolute space and convert back.
+    const std::size_t aligned = align_up(base_ + start, align) - base_;
     const std::size_t pad = aligned - start;
     if (pad + bytes > len) continue;
 
@@ -26,7 +36,7 @@ std::size_t OffsetHeap::alloc(std::size_t bytes, std::size_t align) {
     if (rest > 0) free_.emplace(start + total, rest);
     live_.emplace(aligned, Block{start, total});
     used_ += total;
-    return aligned;
+    return base_ + aligned;
   }
   throw OutOfMemoryError("OffsetHeap: cannot allocate " +
                          std::to_string(bytes) + " bytes (" +
@@ -35,7 +45,11 @@ std::size_t OffsetHeap::alloc(std::size_t bytes, std::size_t align) {
 
 void OffsetHeap::free(std::size_t offset) {
   std::lock_guard lock(mu_);
-  auto it = live_.find(offset);
+  if (offset < base_) {
+    throw Error("OffsetHeap: free of offset " + std::to_string(offset) +
+                " below the heap base");
+  }
+  auto it = live_.find(offset - base_);
   if (it == live_.end()) {
     throw Error("OffsetHeap: free of unknown offset " + std::to_string(offset));
   }
@@ -83,7 +97,7 @@ std::size_t OffsetHeap::debug_validate() const {
   bool first = true;
   for (const auto& [start, len] : free_) {
     if (len == 0) throw Error("OffsetHeap: zero-length free block");
-    if (start < base_ || start + len > base_ + size_ || start + len < start) {
+    if (start + len > size_ || start + len < start) {
       throw Error("OffsetHeap: free block out of range");
     }
     if (!first && start <= prev_end) {
@@ -97,7 +111,7 @@ std::size_t OffsetHeap::debug_validate() const {
   }
   std::size_t live_total = 0;
   for (const auto& [offset, blk] : live_) {
-    if (blk.start < base_ || blk.start + blk.len > base_ + size_) {
+    if (blk.start + blk.len > size_) {
       throw Error("OffsetHeap: live block out of range");
     }
     if (offset < blk.start || offset >= blk.start + blk.len) {

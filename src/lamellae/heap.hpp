@@ -44,16 +44,19 @@ class OffsetHeap {
   std::size_t debug_validate() const;
 
  private:
+  // All internal bookkeeping is base-RELATIVE (offsets from base_), so heap
+  // state never encodes where the arena sits; base_ is applied only at the
+  // public API boundary.  See the conversion note in heap.cpp.
   struct Block {
-    std::size_t start;  ///< block start including alignment padding
+    std::size_t start;  ///< block start including alignment padding (relative)
     std::size_t len;    ///< total block length including padding
   };
 
   const std::size_t base_;
   const std::size_t size_;
   mutable std::mutex mu_;
-  std::map<std::size_t, std::size_t> free_;  ///< start -> length
-  std::map<std::size_t, Block> live_;        ///< user offset -> block
+  std::map<std::size_t, std::size_t> free_;  ///< relative start -> length
+  std::map<std::size_t, Block> live_;        ///< relative user offset -> block
   std::size_t used_ = 0;
 };
 

@@ -83,4 +83,15 @@ std::string bench_json_line(const std::string& bench, const std::string& impl,
          "\",\"metrics\":" + snap.to_json() + "}";
 }
 
+std::string per_pe_path(const std::string& base, std::size_t pe) {
+  const std::size_t dot = base.rfind('.');
+  const std::size_t slash = base.rfind('/');
+  const std::string tag = ".pe" + std::to_string(pe);
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash)) {
+    return base + tag;
+  }
+  return base.substr(0, dot) + tag + base.substr(dot);
+}
+
 }  // namespace lamellar::obs

@@ -24,4 +24,10 @@ void print_json(std::FILE* out, const std::vector<MetricsSnapshot>& snaps);
 std::string bench_json_line(const std::string& bench, const std::string& impl,
                             const MetricsSnapshot& snap);
 
+/// Tag an output path with a PE id before its extension:
+/// "trace.json" -> "trace.pe3.json"; no extension -> "trace.pe3".  Used for
+/// per-PE trace files and for per-process metrics/telemetry files under the
+/// process-separated backend, so concurrent writers never share a file.
+std::string per_pe_path(const std::string& base, std::size_t pe);
+
 }  // namespace lamellar::obs
