@@ -1,11 +1,76 @@
 #include "common/config.hpp"
 
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <mutex>
 #include <stdexcept>
+
+extern char** environ;
 
 namespace lamellar {
 
 namespace {
+
+// Every LAMELLAR_-prefixed name any binary in this repo reads: runtime knobs
+// (README "Environment variables" table), bench/test sweep parameters, and
+// CI switches.  unknown_lamellar_env_vars() flags anything outside this set
+// so a typo'd knob warns instead of silently reverting to the default.
+constexpr const char* kKnownEnvVars[] = {
+    // Runtime knobs (RuntimeConfig::from_env).
+    "LAMELLAR_ADAPT",
+    "LAMELLAR_ADAPT_AGE_US",
+    "LAMELLAR_ADAPT_INTERVAL_US",
+    "LAMELLAR_ADAPT_MAX",
+    "LAMELLAR_ADAPT_MIN",
+    "LAMELLAR_ADMIT_WINDOW",
+    "LAMELLAR_AGG_THRESHOLD",
+    "LAMELLAR_BACKEND",
+    "LAMELLAR_BATCH_OP_LIMIT",
+    "LAMELLAR_CMDQ_DEPTH",
+    "LAMELLAR_INTERNAL_HEAP",
+    "LAMELLAR_METRICS",
+    "LAMELLAR_METRICS_FILE",
+    "LAMELLAR_METRICS_INTERVAL_MS",
+    "LAMELLAR_MP_BARRIER_TIMEOUT_MS",
+    "LAMELLAR_MP_RING",
+    "LAMELLAR_MP_TIMEOUT_MS",
+    "LAMELLAR_ONESIDED_HEAP",
+    "LAMELLAR_PARK_US",
+    "LAMELLAR_ROUTE",
+    "LAMELLAR_ROUTE_CUTOFF",
+    "LAMELLAR_SEED",
+    "LAMELLAR_SYM_HEAP",
+    "LAMELLAR_THREADS",
+    "LAMELLAR_TRACE_CAPACITY",
+    "LAMELLAR_TRACE_FILE",
+    "LAMELLAR_TRACE_PER_PE",
+    "LAMELLAR_TRACE_SAMPLE",
+    "LAMELLAR_VIRTUAL_TIME",
+    // Bench / example / test parameters.
+    "LAMELLAR_FIG2_FULL",
+    "LAMELLAR_FIG3_UPDATES",
+    "LAMELLAR_FIG4_REQUESTS",
+    "LAMELLAR_FIG5_PERM",
+    "LAMELLAR_FIG_IMPL",
+    "LAMELLAR_FUSION_ITERS",
+    "LAMELLAR_FUSION_OPS",
+    "LAMELLAR_SANITIZE",
+    "LAMELLAR_SCALE_AGG",
+    "LAMELLAR_SCALE_KERNELS",
+    "LAMELLAR_SCALE_OPS",
+    "LAMELLAR_SCALE_PARK_US",
+    "LAMELLAR_SCALE_PES",
+    "LAMELLAR_SCALE_ROUTES",
+    "LAMELLAR_SERVE_PES",
+    "LAMELLAR_SERVE_SECONDS",
+    "LAMELLAR_SERVE_SHAPES",
+    "LAMELLAR_TEST_FIG3_UPDATES",
+    "LAMELLAR_TEST_SIZE",
+};
 
 // Parse a size with optional K/M/G suffix (binary multiples).
 std::size_t parse_size(const std::string& s) {
@@ -75,6 +140,36 @@ BackendKind parse_backend_kind(const std::string& s) {
                               s);
 }
 
+AdaptMode parse_adapt_mode(const std::string& s) {
+  if (s == "off") return AdaptMode::kOff;
+  if (s == "agg") return AdaptMode::kAgg;
+  if (s == "full") return AdaptMode::kFull;
+  throw std::invalid_argument("LAMELLAR_ADAPT must be off|agg|full, got: " +
+                              s);
+}
+
+std::vector<std::string> unknown_lamellar_env_vars() {
+  std::vector<std::string> unknown;
+  if (environ == nullptr) return unknown;
+  for (char** e = environ; *e != nullptr; ++e) {
+    const char* entry = *e;
+    if (std::strncmp(entry, "LAMELLAR_", 9) != 0) continue;
+    const char* eq = std::strchr(entry, '=');
+    std::string name = eq != nullptr ? std::string(entry, eq) : entry;
+    bool known = false;
+    for (const char* k : kKnownEnvVars) {
+      if (name == k) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) unknown.push_back(std::move(name));
+  }
+  std::sort(unknown.begin(), unknown.end());
+  unknown.erase(std::unique(unknown.begin(), unknown.end()), unknown.end());
+  return unknown;
+}
+
 RuntimeConfig RuntimeConfig::from_env() {
   RuntimeConfig cfg;
   cfg.threads_per_pe = env_size("LAMELLAR_THREADS", cfg.threads_per_pe);
@@ -111,6 +206,26 @@ RuntimeConfig RuntimeConfig::from_env() {
       env_u64("LAMELLAR_MP_BARRIER_TIMEOUT_MS", cfg.mp_barrier_timeout_ms);
   cfg.mp_wait_timeout_ms =
       env_u64("LAMELLAR_MP_TIMEOUT_MS", cfg.mp_wait_timeout_ms);
+  cfg.adapt = parse_adapt_mode(env_str("LAMELLAR_ADAPT", "off"));
+  cfg.adapt_min_bytes = env_size("LAMELLAR_ADAPT_MIN", cfg.adapt_min_bytes);
+  cfg.adapt_max_bytes = env_size("LAMELLAR_ADAPT_MAX", cfg.adapt_max_bytes);
+  cfg.adapt_interval_us =
+      env_u64("LAMELLAR_ADAPT_INTERVAL_US", cfg.adapt_interval_us);
+  cfg.adapt_age_budget_us =
+      env_u64("LAMELLAR_ADAPT_AGE_US", cfg.adapt_age_budget_us);
+  cfg.admit_window = env_u64("LAMELLAR_ADMIT_WINDOW", cfg.admit_window);
+
+  // Typo detection: warn once per process about LAMELLAR_ vars nothing
+  // reads, rather than silently falling back to defaults.
+  static std::once_flag warn_once;
+  std::call_once(warn_once, [] {
+    for (const auto& name : unknown_lamellar_env_vars()) {
+      std::fprintf(stderr,
+                   "lamellar: warning: unknown environment variable %s "
+                   "(see README \"Environment variables\"); ignored\n",
+                   name.c_str());
+    }
+  });
   return cfg;
 }
 

@@ -1,0 +1,150 @@
+#include "core/control/controller.hpp"
+
+#include <algorithm>
+
+namespace lamellar::control {
+
+AdaptiveController::AdaptiveController(std::size_t initial,
+                                       ControlBounds bounds)
+    : bounds_(bounds),
+      threshold_(std::clamp(initial, bounds.min_bytes, bounds.max_bytes)) {}
+
+AdaptiveController::Decision AdaptiveController::tick(
+    const ControlSignals& s) {
+  const std::uint64_t departures =
+      s.flush_threshold + s.flush_age + s.flush_other;
+  // An idle interval carries no information about the threshold; holding
+  // (rather than decaying) keeps bursty workloads from re-learning from
+  // scratch after every gap.
+  if (departures == 0) return Decision::kHold;
+
+  const double budget = static_cast<double>(bounds_.age_budget_ns);
+  const double age_hi = budget * (1.0 + bounds_.hysteresis);
+  const double age_lo = budget * (1.0 - bounds_.hysteresis);
+  const auto p99 = static_cast<double>(s.lane_age_p99_ns);
+  const double age_share =
+      static_cast<double>(s.flush_age) / static_cast<double>(departures);
+  const double full_share = static_cast<double>(s.flush_threshold) /
+                            static_cast<double>(departures);
+
+  std::size_t next = threshold_;
+  Decision d = Decision::kHold;
+  if (p99 > age_hi || age_share > 0.5) {
+    // Latency pressure: buffers are not filling inside the budget.
+    next = std::max(bounds_.min_bytes, threshold_ / 2);
+    d = Decision::kDown;
+  } else if (full_share > 0.5 && p99 < age_lo && 2.0 * p99 < age_hi) {
+    // Occupancy pressure with latency headroom: amortize more per buffer.
+    // Fill time scales ~linearly with the threshold, so doubling projects
+    // p99 -> 2*p99; stepping only when that projection stays inside the
+    // band keeps the walk from overshooting into an immediate step-down
+    // (a 64k<->128k limit cycle around a ~100k equilibrium otherwise).
+    next = std::min(bounds_.max_bytes, threshold_ * 2);
+    d = Decision::kUp;
+  }
+  if (next == threshold_) return Decision::kHold;
+  threshold_ = next;
+  return d;
+}
+
+ControlLoop::ControlLoop(OutgoingQueues& outgoing, Lamellae& lamellae,
+                         const RuntimeConfig& cfg,
+                         OutgoingQueues::ProgressFn progress)
+    : outgoing_(outgoing),
+      lamellae_(lamellae),
+      progress_(std::move(progress)),
+      ctl_(outgoing.flush_threshold(),
+           ControlBounds{cfg.adapt_min_bytes, cfg.adapt_max_bytes,
+                         cfg.adapt_age_budget_us * 1000, 0.25}),
+      interval_ns_(cfg.adapt_interval_us * 1000),
+      age_budget_ns_(cfg.adapt_age_budget_us * 1000),
+      sensors_live_(lamellae.metrics().enabled()) {
+  obs::MetricsRegistry& reg = lamellae.metrics();
+  flush_threshold_ = &reg.counter("cmdq.flush_threshold");
+  flush_explicit_ = &reg.counter("cmdq.flush_explicit");
+  flush_age_ = &reg.counter("cmdq.flush_age");
+  bypass_large_ = &reg.counter("cmdq.bypass_large");
+  lane_age_ = &reg.histogram("cmdq.lane_age_ns");
+  threshold_gauge_ = &reg.gauge("ctl.threshold");
+  adjustments_ = &reg.counter("ctl.adjustments");
+  ticks_ = &reg.counter("ctl.ticks");
+  // The controller's clamped start may differ from the configured
+  // threshold; make the queue and the gauge agree with it from t=0.
+  outgoing_.set_flush_threshold(ctl_.threshold());
+  threshold_gauge_->set(static_cast<std::int64_t>(ctl_.threshold()));
+}
+
+void ControlLoop::maybe_tick() {
+  const sim_nanos now = lamellae_.mono_now();
+  if (now < next_tick_.load(std::memory_order_relaxed)) return;
+  // Single ticker: whoever wins the flag runs the tick, everyone else
+  // returns to useful work immediately.
+  if (ticking_.exchange(true, std::memory_order_acquire)) return;
+  if (now >= next_tick_.load(std::memory_order_relaxed)) {
+    tick(now);
+    next_tick_.store(now + interval_ns_, std::memory_order_relaxed);
+  }
+  ticking_.store(false, std::memory_order_release);
+}
+
+std::uint64_t ControlLoop::interval_age_p99() {
+  obs::HistogramSnapshot delta;
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < obs::Histogram::kBuckets; ++i) {
+    const std::uint64_t cur =
+        lane_age_->buckets[i].load(std::memory_order_relaxed);
+    delta.buckets[i] = cur - prev_age_buckets_[i];
+    prev_age_buckets_[i] = cur;
+  }
+  const std::uint64_t cur_count =
+      lane_age_->count.load(std::memory_order_relaxed);
+  const std::uint64_t cur_sum = lane_age_->sum.load(std::memory_order_relaxed);
+  count = cur_count - prev_age_count_;
+  sum = cur_sum - prev_age_sum_;
+  prev_age_count_ = cur_count;
+  prev_age_sum_ = cur_sum;
+  if (count == 0) return 0;
+  delta.count = count;
+  delta.sum = sum;
+  // The cumulative max is the only max available; it can only overestimate
+  // the interval max, and percentile() merely clamps against it, so the
+  // interval p99 stays within its log2 bucket either way.
+  delta.max = lane_age_->max_value.load(std::memory_order_relaxed);
+  return delta.percentile(0.99);
+}
+
+void ControlLoop::tick(sim_nanos now) {
+  ticks_->inc();
+  // Actuate the age deadline first so this interval's trickle lanes depart
+  // (and show up as flush_age signal for the *next* decision).
+  outgoing_.flush_aged(now, age_budget_ns_, progress_);
+
+  // LAMELLAR_METRICS=off resolves every name to one shared inert slot, so
+  // the "sensors" would alias each other and read garbage.  Age flushing
+  // above is functional either way; only the threshold tuning needs real
+  // instruments.
+  if (!sensors_live_) return;
+
+  ControlSignals s;
+  const std::uint64_t ft = flush_threshold_->get();
+  const std::uint64_t fe = flush_explicit_->get();
+  const std::uint64_t fa = flush_age_->get();
+  const std::uint64_t bl = bypass_large_->get();
+  s.flush_threshold = ft - prev_flush_threshold_;
+  s.flush_age = fa - prev_flush_age_;
+  s.flush_other = (fe - prev_flush_explicit_) + (bl - prev_bypass_large_);
+  prev_flush_threshold_ = ft;
+  prev_flush_explicit_ = fe;
+  prev_flush_age_ = fa;
+  prev_bypass_large_ = bl;
+  s.lane_age_p99_ns = interval_age_p99();
+
+  if (ctl_.tick(s) != AdaptiveController::Decision::kHold) {
+    outgoing_.set_flush_threshold(ctl_.threshold());
+    threshold_gauge_->set(static_cast<std::int64_t>(ctl_.threshold()));
+    adjustments_->inc();
+  }
+}
+
+}  // namespace lamellar::control

@@ -1,0 +1,154 @@
+// Adaptive aggregation control (DESIGN.md §14).
+//
+// Closes the loop from the observability layer back into the hot path: a
+// lightweight periodic tick reads the command queue's flush-cause counters
+// and lane-age histogram and online-tunes the aggregation flush threshold,
+// while lanes whose oldest staged record has exceeded the age budget are
+// partially flushed so trickle traffic never waits for a full buffer.
+//
+// Split in two so the control law is testable without a runtime:
+//  * AdaptiveController — the pure decision function.  Fed per-interval
+//    sensor deltas (ControlSignals), it hill-climbs the threshold within
+//    [min,max] by multiplicative steps, with a hysteresis dead band around
+//    the latency budget so the two pressures (throughput wants big buffers,
+//    latency wants small ones) cannot make it oscillate.
+//  * ControlLoop — the runtime harness: samples the real cmdq.* metrics,
+//    derives interval deltas, actuates OutgoingQueues::set_flush_threshold
+//    and flush_aged(), and publishes its own ctl.* metrics.  maybe_tick()
+//    is safe to call from any runtime thread at any rate; it self-gates on
+//    the tick interval and on a single-ticker flag.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/config.hpp"
+#include "common/types.hpp"
+#include "lamellae/cmd_queue.hpp"
+#include "lamellae/lamellae.hpp"
+#include "obs/metrics.hpp"
+
+namespace lamellar::control {
+
+/// Per-interval sensor deltas the control law consumes.  All counts are
+/// deltas over one tick interval, not cumulative totals.
+struct ControlSignals {
+  std::uint64_t flush_threshold = 0;  ///< buffers that departed full
+  std::uint64_t flush_age = 0;        ///< age-triggered partial flushes
+  std::uint64_t flush_other = 0;      ///< explicit flushes + large bypass
+  std::uint64_t lane_age_p99_ns = 0;  ///< interval p99 lane residency
+};
+
+struct ControlBounds {
+  std::size_t min_bytes = 4 * 1024;
+  std::size_t max_bytes = std::size_t{1024} * 1024;
+  std::uint64_t age_budget_ns = 2'000'000;
+  /// Dead-band fraction around the age budget: the controller only reacts
+  /// to p99 lane age outside [budget*(1-h), budget*(1+h)].
+  double hysteresis = 0.25;
+};
+
+/// The pure control law: bounded multiplicative hill-climbing with a
+/// hysteresis dead band.
+///
+/// Signals and their meaning:
+///  * a high share of age-triggered flushes, or interval p99 lane age above
+///    the budget's upper band, means the threshold is too large for the
+///    offered load — buffers are not filling inside the latency budget, so
+///    records pay lane residency for nothing.  Step down (halve).
+///  * a high share of threshold-caused departures *with* p99 lane age below
+///    the budget's lower band means buffers fill quickly and there is
+///    latency headroom — larger buffers would amortize more per-buffer cost.
+///    Step up (double).
+///  * anything else (mixed causes, in-band latency, or an idle interval
+///    with no departures at all) holds.
+///
+/// Stability: the step is bounded (one doubling/halving per tick), the dead
+/// band keeps the two triggers from firing on the same observation, and the
+/// sensor is monotone in the threshold (a larger threshold can only raise
+/// lane ages and the age-flush share), so the walk converges to the
+/// equilibrium threshold ~ fill_rate * age_budget and then holds.
+class AdaptiveController {
+ public:
+  enum class Decision { kHold, kUp, kDown };
+
+  AdaptiveController(std::size_t initial, ControlBounds bounds);
+
+  /// Feed one interval's sensor deltas; returns the decision taken and
+  /// updates threshold() accordingly.
+  Decision tick(const ControlSignals& s);
+
+  [[nodiscard]] std::size_t threshold() const { return threshold_; }
+  [[nodiscard]] const ControlBounds& bounds() const { return bounds_; }
+
+ private:
+  ControlBounds bounds_;
+  std::size_t threshold_;
+};
+
+/// Metrics-backed runtime harness around AdaptiveController, one per PE
+/// (owned by the AmEngine).  Not copyable; handles are resolved once.
+class ControlLoop {
+ public:
+  /// `progress` must drain the owner's inbox (it is passed through to
+  /// flush_aged's transmit retry loop).
+  ControlLoop(OutgoingQueues& outgoing, Lamellae& lamellae,
+              const RuntimeConfig& cfg, OutgoingQueues::ProgressFn progress);
+
+  ControlLoop(const ControlLoop&) = delete;
+  ControlLoop& operator=(const ControlLoop&) = delete;
+
+  /// Cheap gate, callable from any thread on both the send path and the
+  /// idle path: returns immediately unless the tick interval has elapsed
+  /// and no other thread is mid-tick.
+  void maybe_tick();
+
+  [[nodiscard]] std::size_t threshold() const {
+    return outgoing_.flush_threshold();
+  }
+
+ private:
+  void tick(sim_nanos now);
+
+  /// Interval p99 of cmdq.lane_age_ns: snapshot the histogram's buckets,
+  /// subtract the previous tick's copy, interpolate.
+  std::uint64_t interval_age_p99();
+
+  OutgoingQueues& outgoing_;
+  Lamellae& lamellae_;
+  OutgoingQueues::ProgressFn progress_;
+  AdaptiveController ctl_;
+  sim_nanos interval_ns_;
+  sim_nanos age_budget_ns_;
+  /// False under LAMELLAR_METRICS=off, where every metric name resolves to
+  /// a shared inert slot: the tick then only age-flushes and never tunes.
+  bool sensors_live_;
+
+  // Sensors (the cmd queue's own instruments).
+  obs::Counter* flush_threshold_;
+  obs::Counter* flush_explicit_;
+  obs::Counter* flush_age_;
+  obs::Counter* bypass_large_;
+  obs::Histogram* lane_age_;
+
+  // Outputs.
+  obs::Gauge* threshold_gauge_;   // ctl.threshold
+  obs::Counter* adjustments_;     // ctl.adjustments
+  obs::Counter* ticks_;           // ctl.ticks
+
+  // Previous-tick sensor state for interval deltas.
+  std::uint64_t prev_flush_threshold_ = 0;
+  std::uint64_t prev_flush_explicit_ = 0;
+  std::uint64_t prev_flush_age_ = 0;
+  std::uint64_t prev_bypass_large_ = 0;
+  std::array<std::uint64_t, obs::Histogram::kBuckets> prev_age_buckets_{};
+  std::uint64_t prev_age_count_ = 0;
+  std::uint64_t prev_age_sum_ = 0;
+
+  std::atomic<sim_nanos> next_tick_{0};
+  std::atomic<bool> ticking_{false};
+};
+
+}  // namespace lamellar::control

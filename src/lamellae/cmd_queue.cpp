@@ -27,14 +27,21 @@ OutgoingQueues::OutgoingQueues(Lamellae& lamellae, std::size_t flush_threshold,
       &reg.counter("cmdq.bytes_sent"),
       &reg.counter("cmdq.flush_threshold"),
       &reg.counter("cmdq.flush_explicit"),
+      &reg.counter("cmdq.flush_age"),
       &reg.counter("cmdq.bypass_large"),
       &reg.counter("cmdq.backpressure_stalls"),
       &reg.counter("cmdq.buffers_recycled"),
       &reg.counter("cmdq.buffers_allocated"),
       &reg.histogram("am.stage_inject_flush_ns"),
+      &reg.histogram("cmdq.lane_age_ns"),
       &reg.gauge("cmdq.nonempty_lanes"),
       &reg.gauge("cmdq.live_lanes"),
   };
+}
+
+void OutgoingQueues::set_flush_threshold(std::size_t bytes) {
+  threshold_.store(std::max<std::size_t>(1, bytes),
+                   std::memory_order_relaxed);
 }
 
 OutgoingQueues::~OutgoingQueues() {
@@ -91,7 +98,7 @@ void OutgoingQueues::prime(Lane& lane) {
   if (lane.active.capacity() != 0) return;
   bool hit = false;
   lane.active = pool_.acquire(
-      std::min(kLaneInitialBytes, threshold_ + kRecordSlack), &hit);
+      std::min(kLaneInitialBytes, flush_threshold() + kRecordSlack), &hit);
   if (!hit) metrics_.buffers_allocated->inc();
   metrics_.live_lanes->add(1);
 }
@@ -110,30 +117,44 @@ OutgoingQueues::RecordWriter OutgoingQueues::begin_record(pe_id dst) {
   return RecordWriter(*this, dst, l, l.active.size(), std::move(lock));
 }
 
+ByteBuffer OutgoingQueues::extract_locked(Lane& lane,
+                                          std::vector<TracedRecord>& traced,
+                                          sim_nanos now) {
+  ByteBuffer out = std::move(lane.active);
+  lane.active = ByteBuffer{};
+  traced = std::move(lane.traced);
+  lane.traced.clear();
+  metrics_.live_lanes->sub(1);
+  if (lane.occupied.load(std::memory_order_relaxed)) {
+    lane.occupied.store(false, std::memory_order_release);
+    nonempty_lanes_.fetch_sub(1, std::memory_order_relaxed);
+    metrics_.nonempty_lanes->sub(1);
+    metrics_.lane_age->record(
+        now >= lane.first_staged ? now - lane.first_staged : 0);
+  } else {
+    // A lone record filled the buffer in one commit: zero lane residency.
+    metrics_.lane_age->record(0);
+  }
+  return out;
+}
+
 void OutgoingQueues::commit_record(RecordWriter& w, const ProgressFn& progress) {
   Lane& lane = *w.lane_;
   const bool was_counted = w.start_ > 0;
   const std::size_t record_bytes = lane.active.size() - w.start_;
+  const std::size_t threshold = threshold_.load(std::memory_order_relaxed);
   w.committed_ = true;
   ByteBuffer to_send;
   std::vector<TracedRecord> traced;
-  if (lane.active.size() >= threshold_) {
+  if (lane.active.size() >= threshold) {
     // Swap the filled buffer out; the lane goes back to empty immediately
     // (the second half of the double buffer) so other writers continue.
-    to_send = std::move(lane.active);
-    lane.active = ByteBuffer{};
-    traced = std::move(lane.traced);
-    lane.traced.clear();
-    lane.occupied.store(false, std::memory_order_release);
-    metrics_.live_lanes->sub(1);
-    if (was_counted) {
-      nonempty_lanes_.fetch_sub(1, std::memory_order_relaxed);
-      metrics_.nonempty_lanes->sub(1);
-    }
-    (record_bytes >= threshold_ ? metrics_.bypass_large
-                                : metrics_.flush_threshold)
+    to_send = extract_locked(lane, traced, lamellae_.mono_now());
+    (record_bytes >= threshold ? metrics_.bypass_large
+                               : metrics_.flush_threshold)
         ->inc();
   } else if (!was_counted && record_bytes > 0) {
+    lane.first_staged = lamellae_.mono_now();
     lane.occupied.store(true, std::memory_order_release);
     nonempty_lanes_.fetch_add(1, std::memory_order_relaxed);
     metrics_.nonempty_lanes->add(1);
@@ -181,19 +202,39 @@ void OutgoingQueues::flush(pe_id dst, const ProgressFn& progress) {
       release_storage_locked(lane);
       return;
     }
-    to_send = std::move(lane.active);
-    lane.active = ByteBuffer{};
-    traced = std::move(lane.traced);
-    lane.traced.clear();
-    lane.occupied.store(false, std::memory_order_release);
-    metrics_.live_lanes->sub(1);
-    nonempty_lanes_.fetch_sub(1, std::memory_order_relaxed);
-    metrics_.nonempty_lanes->sub(1);
+    to_send = extract_locked(lane, traced, lamellae_.mono_now());
   }
   if (!traced.empty()) seal_traced(to_send, traced);
   metrics_.flush_explicit->inc();
   lamellae_.charge(lamellae_.params().agg_flush_overhead_ns);
   transmit(dst, std::move(to_send), progress);
+}
+
+void OutgoingQueues::flush_aged(sim_nanos now, sim_nanos max_age,
+                                const ProgressFn& progress) {
+  const std::size_t n = lanes_.size();
+  for (pe_id dst = 0; dst < n; ++dst) {
+    Lane* lp = lanes_[dst].load(std::memory_order_acquire);
+    if (lp == nullptr || !lp->occupied.load(std::memory_order_acquire)) {
+      continue;
+    }
+    Lane& lane = *lp;
+    ByteBuffer to_send;
+    std::vector<TracedRecord> traced;
+    {
+      std::lock_guard lock(lane.mu);
+      if (lane.active.empty()) continue;
+      if (now < lane.first_staged ||
+          now - lane.first_staged < max_age) {
+        continue;
+      }
+      to_send = extract_locked(lane, traced, now);
+    }
+    if (!traced.empty()) seal_traced(to_send, traced);
+    metrics_.flush_age->inc();
+    lamellae_.charge(lamellae_.params().agg_flush_overhead_ns);
+    transmit(dst, std::move(to_send), progress);
+  }
 }
 
 void OutgoingQueues::flush_all(const ProgressFn& progress) {

@@ -10,6 +10,7 @@
 // (single PE, pure local).
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <span>
 
@@ -94,6 +95,23 @@ class Lamellae {
   // ---- synchronization / accounting ----
   virtual void barrier() = 0;
   virtual VirtualClock& clock() = 0;
+
+  /// Monotonic nanoseconds for age/deadline decisions (lane age stamps,
+  /// controller tick cadence).  Distinct from clock(): the virtual clock
+  /// only advances when perf-model charging is enabled, so backends where
+  /// it would sit at zero (virtual time off, or the mmap backend's real
+  /// processes) must report real steady-clock time instead.
+  [[nodiscard]] virtual sim_nanos mono_now() const { return real_now_ns(); }
+
+ protected:
+  [[nodiscard]] static sim_nanos real_now_ns() {
+    return static_cast<sim_nanos>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+ public:
 
   /// This PE's metrics registry (observability layer).  Always valid; an
   /// inert registry is returned when metrics are disabled.

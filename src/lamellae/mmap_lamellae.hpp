@@ -191,6 +191,9 @@ class MmapLamellae final : public Lamellae {
 
   void barrier() override;
   VirtualClock& clock() override { return clock_; }
+  /// Real processes, real time: charge() never advances clock_, so age and
+  /// tick decisions must come from the steady clock (the base default).
+  [[nodiscard]] sim_nanos mono_now() const override { return real_now_ns(); }
   obs::MetricsRegistry& metrics() override { return registry_; }
   [[nodiscard]] const PerfParams& params() const override { return params_; }
   void charge(double ns) override;

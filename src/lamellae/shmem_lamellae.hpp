@@ -161,6 +161,13 @@ class ShmemLamellae final : public Lamellae {
 
   void barrier() override { group_.fabric_.barrier(pe_); }
   VirtualClock& clock() override { return group_.fabric_.clock(pe_); }
+  /// Virtual-time runs pace age decisions off the modeled clock; with
+  /// virtual time off that clock stays at zero, so fall back to real time.
+  [[nodiscard]] sim_nanos mono_now() const override {
+    return group_.fabric_.virtual_time_enabled()
+               ? group_.fabric_.clock(pe_).now()
+               : real_now_ns();
+  }
   obs::MetricsRegistry& metrics() override {
     return group_.fabric_.metrics(pe_);
   }

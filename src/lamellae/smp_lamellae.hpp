@@ -87,6 +87,9 @@ class SmpLamellae final : public Lamellae {
 
   void barrier() override { inner_->barrier(); }
   VirtualClock& clock() override { return inner_->clock(); }
+  [[nodiscard]] sim_nanos mono_now() const override {
+    return inner_->mono_now();
+  }
   obs::MetricsRegistry& metrics() override { return inner_->metrics(); }
   [[nodiscard]] const PerfParams& params() const override {
     return inner_->params();
